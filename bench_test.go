@@ -1,0 +1,412 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (see DESIGN.md's experiment index and EXPERIMENTS.md for
+// recorded results), plus algorithmic ablations.
+//
+// Figure/table map:
+//
+//	BenchmarkTableI          — Table I (Algorithm 2 trace)
+//	BenchmarkFigure1*        — Figures 1/2/5 (running example)
+//	BenchmarkFigure7Grid     — Figure 7 (tight homogeneous surface)
+//	BenchmarkFigure19Cell    — Figure 19 / Appendix XII (average case)
+//	BenchmarkTheorem62/63    — worst-case families of Section VI
+//
+// Ablations:
+//
+//	BenchmarkGreedyTest      — linear-time feasibility at three scales
+//	BenchmarkDichotomicSearch— full T*_ac search
+//	BenchmarkWordThroughput  — closed-form per-word evaluation (O(L²))
+//	BenchmarkExactVsFloat    — big.Rat reference vs float64 fast path
+//	BenchmarkAlgorithm1 / BenchmarkCyclicOpen / BenchmarkBuildScheme
+//	BenchmarkThroughputMaxflow — max-flow verification cost
+//	BenchmarkTreeDecompose / BenchmarkMassoulie — downstream substrates
+package repro_test
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro"
+	"repro/internal/bedibe"
+	"repro/internal/core"
+	"repro/internal/distribution"
+	"repro/internal/experiments"
+	"repro/internal/generator"
+	"repro/internal/massoulie"
+	"repro/internal/schedule"
+	"repro/internal/trees"
+)
+
+// randomMixed draws a reproducible random instance for benchmarks.
+func randomMixed(seed int64, nn, mm int) *repro.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	open := make([]float64, nn)
+	for i := range open {
+		open[i] = 1 + 99*rng.Float64()
+	}
+	guarded := make([]float64, mm)
+	for i := range guarded {
+		guarded[i] = 1 + 99*rng.Float64()
+	}
+	return repro.MustInstance(50+50*rng.Float64(), open, guarded)
+}
+
+// ---------------------------------------------------------------------------
+// Tables and figures
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableI(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1Solve(b *testing.B) {
+	ins := repro.Figure1Instance()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := repro.SolveAcyclic(ins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1Exhaustive(b *testing.B) {
+	ins := repro.Figure1Instance()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.ExhaustiveAcyclicOptimum(ins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7Grid(b *testing.B) {
+	// A 20×20 corner of the Figure 7 grid with 5 Δ-samples; the cmd
+	// regenerates the full 100×100 surface.
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure7(20, 20, 1, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure19Cell(b *testing.B) {
+	cases := []struct {
+		name string
+		dist distribution.Distribution
+		n    int
+	}{
+		{"Unif100/n=100", distribution.Unif100(), 100},
+		{"Power2/n=100", distribution.Power2(), 100},
+		{"PLab/n=1000", distribution.PlanetLab(), 1000},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := experiments.AvgCaseConfig{
+				Distributions: []distribution.Distribution{c.dist},
+				OpenProbs:     []float64{0.7},
+				Sizes:         []int{c.n},
+				Reps:          20,
+				Seed:          1,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.AverageCase(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTheorem62Witness(b *testing.B) {
+	ins := generator.WorstCase57(1.0 / 14)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := repro.OptimalAcyclicThroughput(ins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTheorem63Family(b *testing.B) {
+	ins := generator.Sqrt41Default(2) // n=80, m=34
+	for i := 0; i < b.N; i++ {
+		if _, _, err := repro.OptimalAcyclicThroughput(ins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm ablations
+
+func BenchmarkGreedyTest(b *testing.B) {
+	for _, size := range []int{100, 1000, 10000} {
+		ins := randomMixed(1, size/2, size/2)
+		T := repro.OptimalCyclicThroughput(ins) * 0.8
+		b.Run(benchSize(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				repro.GreedyTest(ins, T)
+			}
+		})
+	}
+}
+
+func BenchmarkDichotomicSearch(b *testing.B) {
+	for _, size := range []int{100, 1000, 10000} {
+		ins := randomMixed(2, size/2, size/2)
+		b.Run(benchSize(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := repro.OptimalAcyclicThroughput(ins); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWordThroughput(b *testing.B) {
+	ins := randomMixed(3, 200, 200)
+	w, ok := repro.GreedyTest(ins, repro.OptimalCyclicThroughput(ins)*0.8)
+	if !ok {
+		b.Fatal("infeasible")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		repro.WordThroughput(ins, w)
+	}
+}
+
+func BenchmarkExactVsFloat(b *testing.B) {
+	ins := randomMixed(4, 50, 50)
+	T := repro.OptimalCyclicThroughput(ins) * 0.8
+	rT := new(big.Rat)
+	rT.SetFloat64(T)
+	b.Run("float64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.GreedyTest(ins, T)
+		}
+	})
+	b.Run("bigRat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.GreedyTestExact(ins, rT)
+		}
+	})
+}
+
+func BenchmarkAlgorithm1(b *testing.B) {
+	for _, size := range []int{100, 1000} {
+		ins := randomMixed(5, size, 0)
+		T := repro.AcyclicOpenOptimalThroughput(ins)
+		b.Run(benchSize(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := repro.AcyclicOpen(ins, T); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCyclicOpen(b *testing.B) {
+	for _, size := range []int{100, 1000} {
+		ins := randomMixed(6, size, 0)
+		T := repro.OptimalCyclicThroughput(ins)
+		b.Run(benchSize(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := repro.CyclicOpen(ins, T); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBuildScheme(b *testing.B) {
+	ins := randomMixed(7, 500, 500)
+	T, w, err := repro.OptimalAcyclicThroughput(ins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.BuildScheme(ins, w, T*(1-1e-12)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThroughputMaxflow(b *testing.B) {
+	ins := randomMixed(8, 100, 100)
+	_, s, err := repro.SolveAcyclic(ins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Throughput()
+	}
+}
+
+func BenchmarkTreeDecompose(b *testing.B) {
+	ins := randomMixed(9, 100, 100)
+	T, s, err := repro.SolveAcyclic(ins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trees.Decompose(s, T); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMassoulie(b *testing.B) {
+	ins := randomMixed(10, 20, 20)
+	T, s, err := repro.SolveAcyclic(ins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := massoulie.Simulate(s, T, massoulie.Config{Packets: 100, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Extension ablations
+
+// BenchmarkAblationDepth compares the Lemma 4.6 earliest-first builder
+// against the depth-aware variant; the custom metrics record the depth
+// each achieves on the same (word, T).
+func BenchmarkAblationDepth(b *testing.B) {
+	ins := randomMixed(11, 60, 60)
+	T, w, err := repro.OptimalAcyclicThroughput(ins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	T *= 1 - 1e-12
+	b.Run("earliest-first", func(b *testing.B) {
+		var depth int
+		for i := 0; i < b.N; i++ {
+			s, err := repro.BuildScheme(ins, w, T)
+			if err != nil {
+				b.Fatal(err)
+			}
+			depth = repro.SchemeDepth(s)
+		}
+		b.ReportMetric(float64(depth), "depth")
+	})
+	b.Run("depth-aware", func(b *testing.B) {
+		var depth int
+		for i := 0; i < b.N; i++ {
+			s, err := repro.BuildSchemeDepthAware(ins, w, T)
+			if err != nil {
+				b.Fatal(err)
+			}
+			depth = repro.SchemeDepth(s)
+		}
+		b.ReportMetric(float64(depth), "depth")
+	})
+}
+
+// BenchmarkAblationOnePort quantifies the multi-port win over the
+// degree-1 pipeline baseline on each experiment distribution (the
+// "multiport_win_x" metric is T*_multiport / T_chain).
+func BenchmarkAblationOnePort(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	for _, dist := range []distribution.Distribution{distribution.Unif100(), distribution.Power2(), distribution.PlanetLab()} {
+		open := make([]float64, 50)
+		for i := range open {
+			open[i] = dist.Sample(rng)
+		}
+		ins := repro.MustInstance(open[0]*2, open, nil)
+		b.Run(dist.Name(), func(b *testing.B) {
+			var win float64
+			for i := 0; i < b.N; i++ {
+				chain, err := core.OnePortChainThroughput(ins)
+				if err != nil {
+					b.Fatal(err)
+				}
+				win = repro.AcyclicOpenOptimalThroughput(ins) / chain
+			}
+			b.ReportMetric(win, "multiport_win_x")
+		})
+	}
+}
+
+// BenchmarkPackCyclicGuarded measures the constructive cyclic-guarded
+// solver (the quadrant the paper leaves non-constructive).
+func BenchmarkPackCyclicGuarded(b *testing.B) {
+	for _, size := range []int{20, 100} {
+		ins := randomMixed(14, size/2, size/2)
+		T := repro.OptimalCyclicThroughput(ins)
+		b.Run(benchSize(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := repro.PackCyclicGuarded(ins, T); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBedibeFit measures the LastMile estimator on a 100-host
+// campaign (the model-instantiation stage of the §II-C pipeline).
+func BenchmarkBedibeFit(b *testing.B) {
+	_, m := bedibe.Synthesize(bedibe.SynthConfig{N: 100, NoiseStd: 0.15, ObserveP: 0.7, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bedibe.FitLastMile(m, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedule measures discretizing a tree decomposition into a
+// 1000-block periodic plan.
+func BenchmarkSchedule(b *testing.B) {
+	ins := randomMixed(13, 40, 40)
+	T, s, err := repro.SolveAcyclic(ins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := trees.Decompose(s, T)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := schedule.Build(s, T, ts, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSize(n int) string {
+	switch {
+	case n >= 1000000:
+		return "n=1M"
+	case n >= 1000:
+		return "n=" + itoa(n/1000) + "k"
+	default:
+		return "n=" + itoa(n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

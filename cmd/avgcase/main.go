@@ -1,0 +1,66 @@
+// Command avgcase regenerates the Figure 19 average-case study (Appendix
+// XII): the ratio between acyclic and optimal cyclic throughput on
+// random tight instances, across the six bandwidth distributions,
+// open-node probabilities p ∈ {0.1, 0.5, 0.7, 0.9} and platform sizes
+// n ∈ {10, 100, 1000}.
+//
+// Three series are reported per panel point, matching the paper's plot:
+// the optimal acyclic ratio (boxplots), the best of the canonical words
+// ω1/ω2 (blue line) and the single word chosen by the Theorem 6.2 case
+// analysis (red line).
+//
+// Usage:
+//
+//	avgcase [-reps 1000] [-sizes 10,100,1000] [-seed 2014] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	reps := flag.Int("reps", 1000, "random instances per (distribution, p, n) cell")
+	sizes := flag.String("sizes", "10,100,1000", "comma-separated platform sizes")
+	seed := flag.Int64("seed", 2014, "base RNG seed")
+	csv := flag.Bool("csv", false, "emit raw CSV instead of the formatted table")
+	flag.Parse()
+
+	cfg := experiments.DefaultAvgCaseConfig()
+	cfg.Reps = *reps
+	cfg.Seed = *seed
+	cfg.Sizes = nil
+	for _, tok := range strings.Split(*sizes, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 2 {
+			fmt.Fprintf(os.Stderr, "avgcase: bad size %q\n", tok)
+			os.Exit(2)
+		}
+		cfg.Sizes = append(cfg.Sizes, v)
+	}
+
+	cells, err := experiments.AverageCase(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avgcase:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Print(experiments.AvgCaseCSV(cells))
+		return
+	}
+	fmt.Printf("%-8s %-4s %-6s | %-28s | %-10s | %-10s\n",
+		"dist", "p", "n", "optimal acyclic ratio", "best ω1/ω2", "thm word")
+	fmt.Printf("%-8s %-4s %-6s | %-28s | %-10s | %-10s\n",
+		"", "", "", "mean   med    p2.5   min", "mean", "mean")
+	for _, c := range cells {
+		fmt.Printf("%-8s %-4.1f %-6d | %.4f %.4f %.4f %.4f | %-10.4f | %-10.4f\n",
+			c.Dist, c.P, c.N,
+			c.OptAcyclic.Mean, c.OptAcyclic.Median, c.OptAcyclic.P025, c.OptAcyclic.Min,
+			c.BestOmega.Mean, c.TheoremWord.Mean)
+	}
+}

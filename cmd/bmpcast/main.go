@@ -1,0 +1,265 @@
+// Command bmpcast is the general-purpose CLI of the bounded multi-port
+// broadcast library. Subcommands:
+//
+//	bmpcast solve   -file inst.json [-cyclic] [-verbose]
+//	    Compute T*, T*_ac and the low-degree overlay for an instance
+//	    (JSON: {"b0": 6, "open": [5,5], "guarded": [4,1,1]}).
+//
+//	bmpcast generate -dist Unif100 -n 50 -p 0.7 [-seed 1]
+//	    Draw a random tight instance and print it as JSON.
+//
+//	bmpcast simulate -file inst.json [-packets 300] [-seed 1]
+//	    Build the acyclic overlay and replay Massoulié-style randomized
+//	    broadcast on it, reporting per-node goodput.
+//
+//	bmpcast demo fig1|fig6|57|sqrt41
+//	    Walk through the paper's showcase instances.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/distribution"
+	"repro/internal/generator"
+	"repro/internal/massoulie"
+	"repro/internal/platform"
+	"repro/internal/trees"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "solve":
+		err = cmdSolve(os.Args[2:])
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "demo":
+		err = cmdDemo(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "bmpcast: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmpcast:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: bmpcast <solve|generate|simulate|demo> [flags]
+  solve    -file inst.json [-cyclic] [-verbose]
+  generate -dist <Unif100|Power1|Power2|LN1|LN2|PLab> -n <nodes> -p <openprob> [-seed N]
+  simulate -file inst.json [-packets 300] [-seed 1]
+  demo     fig1|fig6|57|sqrt41`)
+}
+
+func loadInstance(path string) (*platform.Instance, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ins platform.Instance
+	if err := json.Unmarshal(data, &ins); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &ins, nil
+}
+
+func cmdSolve(args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ExitOnError)
+	file := fs.String("file", "", "instance JSON file (required)")
+	cyclic := fs.Bool("cyclic", false, "also build the Theorem 5.2 cyclic scheme (open-only instances)")
+	verbose := fs.Bool("verbose", false, "print the full edge list and a tree decomposition")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("solve: -file is required")
+	}
+	ins, err := loadInstance(*file)
+	if err != nil {
+		return err
+	}
+	return solve(os.Stdout, ins, *cyclic, *verbose)
+}
+
+func solve(out *os.File, ins *platform.Instance, cyclic, verbose bool) error {
+	fmt.Fprintf(out, "instance: %v\n", ins)
+	tstar := core.OptimalCyclicThroughput(ins)
+	fmt.Fprintf(out, "optimal cyclic throughput  T*    = %.6f  (Lemma 5.1)\n", tstar)
+	tac, word, err := core.OptimalAcyclicThroughput(ins)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "optimal acyclic throughput T*_ac = %.6f  (ratio %.4f, word %s)\n", tac, tac/tstar, word)
+	scheme, err := core.BuildScheme(ins, word, tac)
+	if err != nil {
+		scheme, err = core.BuildScheme(ins, word, tac*(1-1e-12))
+		if err != nil {
+			return err
+		}
+	}
+	if err := scheme.Validate(); err != nil {
+		return err
+	}
+	printDegrees(out, ins, scheme, tac)
+	if verbose {
+		printEdges(out, scheme)
+		if ts, err := trees.Decompose(scheme, tac); err == nil {
+			fmt.Fprintf(out, "broadcast-tree decomposition: %d trees, max depth %d\n", len(ts), maxDepth(ts))
+		}
+	}
+	if cyclic {
+		var cs *core.Scheme
+		achieved := tstar
+		if ins.M() == 0 {
+			cs, err = core.CyclicOpen(ins, tstar)
+		} else {
+			cs, achieved, err = core.PackCyclicGuarded(ins, tstar)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "cyclic scheme at T = %.6f (T* = %.6f): %d edges, acyclic=%v\n",
+			achieved, tstar, cs.NumEdges(), cs.IsAcyclic())
+		printDegrees(out, ins, cs, achieved)
+		if verbose {
+			printEdges(out, cs)
+		}
+	}
+	return nil
+}
+
+func maxDepth(ts []trees.Tree) int {
+	d := 0
+	for i := range ts {
+		if td := ts[i].Depth(); td > d {
+			d = td
+		}
+	}
+	return d
+}
+
+func printDegrees(out *os.File, ins *platform.Instance, s *core.Scheme, T float64) {
+	slack, maxSlack := s.DegreeSlack(T)
+	fmt.Fprintf(out, "max outdegree %d; degree slack over ⌈b_i/T⌉: max %+d\n", s.MaxOutDegree(), maxSlack)
+	if ins.Total() <= 12 {
+		for i := 0; i < ins.Total(); i++ {
+			fmt.Fprintf(out, "  C%-3d %-8s b=%-8g out=%-8.4g deg=%d (⌈b/T⌉=%d, slack %+d)\n",
+				i, ins.KindOf(i), ins.Bandwidth(i), s.OutRate(i), s.OutDegree(i),
+				core.DegreeLowerBound(ins.Bandwidth(i), T), slack[i])
+		}
+	}
+}
+
+func printEdges(out *os.File, s *core.Scheme) {
+	edges := s.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	fmt.Fprintf(out, "edges (%d):\n", len(edges))
+	for _, e := range edges {
+		fmt.Fprintf(out, "  C%d -> C%d : %.4f\n", e.From, e.To, e.Weight)
+	}
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	distName := fs.String("dist", "Unif100", "bandwidth distribution")
+	n := fs.Int("n", 50, "number of receiver nodes")
+	p := fs.Float64("p", 0.7, "probability a node is open")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var dist distribution.Distribution
+	for _, d := range distribution.All() {
+		if d.Name() == *distName {
+			dist = d
+		}
+	}
+	if dist == nil {
+		return fmt.Errorf("generate: unknown distribution %q", *distName)
+	}
+	ins, err := generator.Random(dist, *n, *p, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(ins, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	file := fs.String("file", "", "instance JSON file (required)")
+	packets := fs.Int("packets", 300, "stream packets to broadcast")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("simulate: -file is required")
+	}
+	ins, err := loadInstance(*file)
+	if err != nil {
+		return err
+	}
+	T, scheme, err := core.SolveAcyclic(ins)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("overlay built: T*_ac = %.6f, %d edges, max degree %d\n", T, scheme.NumEdges(), scheme.MaxOutDegree())
+	res, err := massoulie.Simulate(scheme, T, massoulie.Config{Packets: *packets, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulation: %d rounds, completed=%v\n", res.Rounds, res.Completed)
+	fmt.Printf("min per-node goodput: %.4f of T (1.0 = nominal rate)\n", res.MinGoodput())
+	return nil
+}
+
+func cmdDemo(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("demo: expected one of fig1|fig6|57|sqrt41")
+	}
+	var ins *platform.Instance
+	var err error
+	switch args[0] {
+	case "fig1":
+		ins = generator.Figure1()
+	case "fig6":
+		ins, err = generator.Figure6(6)
+	case "57":
+		ins = generator.WorstCase57(1.0 / 14)
+	case "sqrt41":
+		ins = generator.Sqrt41Default(1)
+	default:
+		return fmt.Errorf("demo: unknown demo %q", args[0])
+	}
+	if err != nil {
+		return err
+	}
+	return solve(os.Stdout, ins, true, true)
+}

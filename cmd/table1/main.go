@@ -1,0 +1,47 @@
+// Command table1 regenerates Table I of the paper: the execution trace of
+// Algorithm 2 (GreedyTest) on the Figure 1 instance at throughput T = 4.
+//
+// Usage:
+//
+//	table1 [-T throughput]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/generator"
+)
+
+func main() {
+	T := flag.Float64("T", 4, "target throughput for the trace")
+	flag.Parse()
+
+	if *T == 4 {
+		text, err := experiments.TableI()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
+		fmt.Print(text)
+		return
+	}
+	// Custom throughput: same instance, raw trace.
+	ins := generator.Figure1()
+	word, steps, ok := core.GreedyTestTrace(ins, *T)
+	if !ok {
+		fmt.Printf("GreedyTest(%g) = infeasible (T*_ac = 4 on this instance)\n", *T)
+		if len(word) > 0 {
+			fmt.Printf("failed after prefix %s\n", word)
+		}
+		os.Exit(0)
+	}
+	fmt.Printf("GreedyTest(%g) on %v\n", *T, ins)
+	for i, st := range steps {
+		fmt.Printf("step %d: %-8s O=%-8g G=%-8g W=%-8g\n", i+1, st.Prefix, st.O, st.G, st.W)
+	}
+	fmt.Printf("word %s (order σ = %s)\n", word, word.OrderString(ins))
+}

@@ -1,0 +1,63 @@
+// Command worstcase demonstrates the extremal results of Section VI:
+//
+//   - the tight 5/7 instance of Theorem 6.2 (ε = 1/14),
+//   - the I(α, k) family of Theorem 6.3 whose acyclic/cyclic ratio stays
+//     near (1+√41)/8 ≈ 0.925 at every scale,
+//   - and, with -exhaustive, a brute-force scan over small tight
+//     homogeneous instances confirming that nothing dips below 5/7.
+//
+// Usage:
+//
+//	worstcase [-exhaustive] [-maxnodes 9]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/generator"
+)
+
+func main() {
+	exhaustive := flag.Bool("exhaustive", false, "also brute-force all small tight homogeneous instances")
+	maxNodes := flag.Int("maxnodes", 9, "n+m cap for the exhaustive scan")
+	flag.Parse()
+
+	report, err := experiments.WorstCaseReport()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "worstcase:", err)
+		os.Exit(1)
+	}
+	fmt.Print(report)
+
+	if !*exhaustive {
+		return
+	}
+	fmt.Printf("\nExhaustive scan of tight homogeneous instances with n+m ≤ %d (Δ in 0..n):\n", *maxNodes)
+	worst := 1.0
+	worstDesc := ""
+	for n := 1; n <= *maxNodes; n++ {
+		for m := 0; m+n <= *maxNodes; m++ {
+			for d := 0; d <= n; d++ {
+				ins, err := generator.TightHomogeneous(n, m, float64(d))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "worstcase:", err)
+					os.Exit(1)
+				}
+				tac, _, err := core.ExhaustiveAcyclicOptimumFloat(ins)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "worstcase:", err)
+					os.Exit(1)
+				}
+				if tac < worst {
+					worst = tac
+					worstDesc = fmt.Sprintf("n=%d m=%d Δ=%d", n, m, d)
+				}
+			}
+		}
+	}
+	fmt.Printf("  worst exhaustive ratio: %.6f at %s (5/7 = %.6f)\n", worst, worstDesc, core.WorstCaseRatio)
+}

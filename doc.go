@@ -1,0 +1,31 @@
+// Package repro is a Go reproduction of
+//
+//	"Broadcasting on Large Scale Heterogeneous Platforms under the
+//	 Bounded Multi-Port Model"
+//	Beaumont, Bonichon, Eyraud-Dubois, Uznański, Agrawal
+//	(IPDPS 2010; journal version IEEE TPDS 25(10), 2014).
+//
+// The paper studies one-to-all broadcast of a large message (or live
+// stream) on Internet-scale platforms under the LastMile / bounded
+// multi-port model: every node has an outgoing-bandwidth cap, nodes
+// behind NATs or firewalls ("guarded") cannot talk to each other
+// directly, and the number of simultaneous connections per node (its
+// outdegree) should stay near the lower bound ⌈b_i/T⌉.
+//
+// This root package is the public facade: it re-exports the instance
+// model, the scheme type and every algorithm of the paper from the
+// internal packages. The three headline entry points are
+//
+//	T      := repro.OptimalCyclicThroughput(ins)        // Lemma 5.1 closed form
+//	Tac, w := repro.OptimalAcyclicThroughput(ins)       // Theorem 4.1 dichotomic search
+//	Tac, s := repro.SolveAcyclic(ins)                   // + Lemma 4.6 low-degree overlay
+//
+// together with repro.CyclicOpen (Theorem 5.2's cyclic constructor for
+// open-only platforms), repro.DecomposeTrees (broadcast-tree packing of
+// acyclic overlays) and repro.Simulate (Massoulié-style randomized
+// broadcast on the built overlay).
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure, and the
+// examples/ directory for runnable walk-throughs.
+package repro

@@ -1,0 +1,83 @@
+// Estimation: the paper's full practical pipeline (§II-C), end to end.
+//
+//	point-to-point measurements            (a PlanetLab-style campaign)
+//	  → LastMile parameter estimation      (Bedibe stand-in, L1 fit)
+//	  → broadcast instance                 (this paper's input model)
+//	  → low-degree acyclic overlay         (this paper's contribution)
+//	  → randomized dissemination           (Massoulié's algorithm)
+//
+// The example also compares the LastMile predictor against the DMF
+// matrix-factorization alternative the paper cites, reproducing the
+// reference [14] observation that motivated the model choice.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/bedibe"
+)
+
+func main() {
+	// 1. A synthetic measurement campaign over 30 hosts: ground-truth
+	//    last-mile capacities observed through 15% multiplicative noise,
+	//    with 30% of the pairs unmeasured.
+	truth, m := bedibe.Synthesize(bedibe.SynthConfig{
+		N: 30, NoiseStd: 0.15, ObserveP: 0.7, Seed: 11,
+	})
+	fmt.Printf("campaign: %d hosts, noisy, partially observed\n", m.N())
+
+	// 2. Fit the LastMile model (and DMF for comparison).
+	lm, err := repro.FitLastMile(m, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dmf, err := bedibe.FitDMF(m, 3, 25, 1e-3, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mean relative prediction error: LastMile %.3f, DMF(rank 3) %.3f\n",
+		bedibe.FitError(m, lm.Predict, 1e-6), bedibe.FitError(m, dmf.Predict, 1e-6))
+
+	// 3. Assemble the broadcast instance from the *estimated* uplinks.
+	//    Host 0 is the source; hosts 20..29 sit behind NATs.
+	guarded := map[int]bool{}
+	for i := 20; i < 30; i++ {
+		guarded[i] = true
+	}
+	ins, err := repro.InstanceFromEstimate(lm, 0, guarded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("estimated instance:", ins)
+
+	// 4. Build the overlay on the estimate...
+	T, scheme, err := repro.SolveAcyclic(ins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("overlay: T*_ac = %.3f, max degree %d\n", T, scheme.MaxOutDegree())
+
+	// ...and check how much estimation noise cost us: rebuild from the
+	// ground-truth uplinks and compare.
+	insTrue, err := repro.InstanceFromEstimate(truth, 0, guarded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tTrue, _, err := repro.OptimalAcyclicThroughput(insTrue)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diff := 100 * (T - tTrue) / tTrue
+	fmt.Printf("ground-truth T*_ac = %.3f → estimate off by %+.1f%% (noise skews the L1 fit optimistic;\n"+
+		"  a deployment would shave the target rate by the campaign's noise level)\n", tTrue, diff)
+
+	// 5. Stream over the estimated overlay.
+	res, err := repro.Simulate(scheme, T, repro.SimConfig{Packets: 250, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dissemination: complete=%v, worst goodput %.2f of the designed rate\n",
+		res.Completed, res.MinGoodput())
+}

@@ -1,0 +1,54 @@
+// PlanetLab: a miniature of the paper's average-case study (Appendix
+// XII / Figure 19). For each bandwidth distribution we draw random tight
+// instances — the source bandwidth is set so the cyclic optimum equals
+// it, the "difficult" regime — and measure how much throughput the
+// low-degree acyclic overlays give up versus the cyclic optimum.
+//
+// The paper's conclusion, which this example reproduces in seconds: at
+// most a few percent, across very different heterogeneity profiles.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	distributions := []repro.Distribution{
+		repro.Unif100(), repro.Power1(), repro.Power2(),
+		repro.LN1(), repro.LN2(), repro.PlanetLab(),
+	}
+	const (
+		nodes = 100
+		reps  = 50
+		pOpen = 0.7
+	)
+	fmt.Printf("random tight instances: %d nodes, p(open) = %.1f, %d draws per distribution\n\n",
+		nodes, pOpen, reps)
+	fmt.Printf("%-10s %-10s %-10s %-10s %-10s\n", "dist", "mean", "median", "p2.5", "min")
+
+	for _, dist := range distributions {
+		rng := rand.New(rand.NewSource(2014))
+		ratios := make([]float64, 0, reps)
+		for rep := 0; rep < reps; rep++ {
+			ins, err := repro.RandomInstance(dist, nodes, pOpen, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tstar := repro.OptimalCyclicThroughput(ins)
+			tac, _, err := repro.OptimalAcyclicThroughput(ins)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ratios = append(ratios, tac/tstar)
+		}
+		s := stats.Summarize(ratios)
+		fmt.Printf("%-10s %-10.4f %-10.4f %-10.4f %-10.4f\n", dist.Name(), s.Mean, s.Median, s.P025, s.Min)
+	}
+
+	fmt.Println("\nPaper's Figure 19 shape: all means ≥ 0.95, acyclic overlays nearly free.")
+}

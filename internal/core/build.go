@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/platform"
+)
+
+// supplier is a placed node with unused upload bandwidth, kept in
+// placement order so receivers always draw from the earliest one.
+type supplier struct {
+	id  int
+	rem float64
+}
+
+// queue is a FIFO of suppliers with lazy head advancement.
+type queue struct {
+	items []supplier
+	head  int
+}
+
+func (q *queue) push(id int, rem float64) {
+	if rem > 0 {
+		q.items = append(q.items, supplier{id: id, rem: rem})
+	}
+}
+
+// front returns the earliest supplier with remaining capacity > eps,
+// or nil when none is left.
+func (q *queue) front(eps float64) *supplier {
+	for q.head < len(q.items) {
+		if q.items[q.head].rem > eps {
+			return &q.items[q.head]
+		}
+		q.head++
+	}
+	return nil
+}
+
+// totalRem sums the remaining capacity (for diagnostics).
+func (q *queue) totalRem() float64 {
+	var s float64
+	for i := q.head; i < len(q.items); i++ {
+		s += q.items[i].rem
+	}
+	return s
+}
+
+// BuildScheme turns a valid encoding word into a concrete low-degree
+// broadcast scheme of throughput T (Lemma 4.6). Nodes are satisfied in
+// word order; every receiver is fed by the earliest placed nodes with
+// unused upload bandwidth, with guarded capacity used before open
+// capacity for open receivers (conservative solutions, Lemma 4.3).
+// The firewall constraint is structural: guarded receivers only draw
+// from the open queue.
+//
+// When the word comes from GreedyTest the outdegrees satisfy
+// Theorem 4.1: o_j ≤ ⌈b_j/T⌉+1 for guarded nodes, o_i ≤ ⌈b_i/T⌉+3 for at
+// most one open node and o_i ≤ ⌈b_i/T⌉+2 for the others.
+//
+// It returns an error when the word cannot support throughput T.
+func BuildScheme(ins *platform.Instance, w Word, T float64) (*Scheme, error) {
+	if err := w.Validate(ins); err != nil {
+		return nil, err
+	}
+	if T <= 0 {
+		return nil, fmt.Errorf("core: BuildScheme needs positive throughput, got %v", T)
+	}
+	eps := tol(T)
+	scheme := NewScheme(ins)
+	var open, guarded queue
+	open.push(0, ins.B0)
+
+	draw := func(q *queue, to int, need float64) float64 {
+		for need > eps {
+			sup := q.front(eps)
+			if sup == nil {
+				return need
+			}
+			take := math.Min(need, sup.rem)
+			scheme.Add(sup.id, to, take)
+			sup.rem -= take
+			need -= take
+		}
+		return 0
+	}
+
+	nextOpen, nextGuarded := 1, ins.N()+1
+	for pos, l := range w {
+		if l == platform.Guarded {
+			id := nextGuarded
+			nextGuarded++
+			if rest := draw(&open, id, T); rest > eps {
+				return nil, fmt.Errorf("core: word %s infeasible at T=%v: guarded node %d (position %d) short by %v (open rem %v)",
+					w, T, id, pos, rest, open.totalRem())
+			}
+			guarded.push(id, ins.Bandwidth(id))
+		} else {
+			id := nextOpen
+			nextOpen++
+			rest := draw(&guarded, id, T)
+			if rest > eps {
+				rest = draw(&open, id, rest)
+			}
+			if rest > eps {
+				return nil, fmt.Errorf("core: word %s infeasible at T=%v: open node %d (position %d) short by %v",
+					w, T, id, pos, rest)
+			}
+			open.push(id, ins.Bandwidth(id))
+		}
+	}
+	return scheme, nil
+}
+
+// SolveAcyclic computes the optimal acyclic throughput and materializes
+// the corresponding low-degree scheme — the end-to-end pipeline of
+// Section IV (GreedyTest + dichotomic search + Lemma 4.6 construction).
+func SolveAcyclic(ins *platform.Instance) (float64, *Scheme, error) {
+	T, w, err := OptimalAcyclicThroughput(ins)
+	if err != nil {
+		return 0, nil, err
+	}
+	scheme, err := BuildScheme(ins, w, T)
+	if err != nil {
+		// The word is feasible at T up to float dust; retry a hair below.
+		shaved := T * (1 - 1e-12)
+		scheme, err = BuildScheme(ins, w, shaved)
+		if err != nil {
+			return 0, nil, err
+		}
+		return shaved, scheme, nil
+	}
+	return T, scheme, nil
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// ThreePartitionScheme materializes the Figure 8 scheme certifying the
+// Theorem 3.1 reduction: given the broadcast instance produced by
+// generator.ThreePartition (source bandwidth 3pT, 3p intermediate nodes
+// with the 3-PARTITION values as bandwidths — sorted non-increasing —
+// and p final nodes of bandwidth 0) and a solution of the 3-PARTITION
+// instance as index triples into the sorted intermediate nodes
+// (1-based paper numbering, nodes 1..3p), it builds the scheme in which
+//
+//   - the source feeds every intermediate node at rate exactly T, and
+//   - the three intermediates of triple j feed final node 3p+j at full
+//     bandwidth, summing to exactly T.
+//
+// The resulting scheme achieves throughput T with every outdegree at the
+// ⌈b_i/T⌉ floor — the strict degree bound that makes the problem
+// NP-complete.
+func ThreePartitionScheme(ins *platform.Instance, T float64, triples [][3]int) (*Scheme, error) {
+	p := len(triples)
+	if ins.N() != 4*p || ins.M() != 0 {
+		return nil, fmt.Errorf("core: instance shape %d open/%d guarded does not match %d triples", ins.N(), ins.M(), p)
+	}
+	scheme := NewScheme(ins)
+	for i := 1; i <= 3*p; i++ {
+		scheme.Add(0, i, T)
+	}
+	used := make([]bool, 3*p+1)
+	for j, tr := range triples {
+		final := 3*p + 1 + j
+		var sum float64
+		for _, k := range tr {
+			if k < 1 || k > 3*p {
+				return nil, fmt.Errorf("core: triple index %d out of [1,%d]", k, 3*p)
+			}
+			if used[k] {
+				return nil, fmt.Errorf("core: intermediate node %d used twice", k)
+			}
+			used[k] = true
+			bk := ins.Bandwidth(k)
+			scheme.Add(k, final, bk)
+			sum += bk
+		}
+		if diff := sum - T; diff > tol(T) || diff < -tol(T) {
+			return nil, fmt.Errorf("core: triple %d sums to %v, want %v", j, sum, T)
+		}
+	}
+	return scheme, nil
+}

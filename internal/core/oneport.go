@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// OnePortChainThroughput is the degree-1 pipeline baseline the paper's
+// model discussion argues against (§II-A: under the one-port model "it
+// is unreasonable to assume that a 10GB/s server may be kept busy for 10
+// seconds while communicating a 10MB data file to a 1MB/s DSL node").
+//
+// With every node restricted to a single outgoing connection the overlay
+// is a chain, and the steady-state rate is the minimum outgoing
+// bandwidth among the source and all non-tail nodes. The best chain
+// therefore orders nodes by non-increasing bandwidth (the instance's
+// normal form), parking the weakest node at the tail:
+//
+//	T_chain = min(b0, b_1, ..., b_{n-1}) = min(b0, b_{n-1}).
+//
+// The bounded multi-port algorithms beat this baseline by up to the
+// platform's heterogeneity ratio; BenchmarkAblationOnePort measures the
+// gap on the experiment distributions. Open-only instances only — a
+// chain with two adjacent guarded nodes violates the firewall
+// constraint, and the arrangement question stops being a baseline.
+func OnePortChainThroughput(ins *platform.Instance) (float64, error) {
+	if ins.M() != 0 {
+		return 0, fmt.Errorf("core: one-port chain baseline requires an open-only instance, got m=%d", ins.M())
+	}
+	n := ins.N()
+	if n == 0 {
+		return ins.B0, nil
+	}
+	t := ins.B0
+	for i := 1; i < n; i++ { // node n (the smallest) is the tail and sends nothing
+		if b := ins.Bandwidth(i); b < t {
+			t = b
+		}
+	}
+	return t, nil
+}
+
+// OnePortChainScheme materializes the baseline chain at its optimal
+// throughput.
+func OnePortChainScheme(ins *platform.Instance) (float64, *Scheme, error) {
+	T, err := OnePortChainThroughput(ins)
+	if err != nil {
+		return 0, nil, err
+	}
+	s := NewScheme(ins)
+	for i := 0; i < ins.N(); i++ {
+		s.Add(i, i+1, T)
+	}
+	return T, s, nil
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/platform"
+)
+
+// OrderThroughput returns T*_ac(σ) for an arbitrary node order σ (a
+// permutation of 1..n+m in paper numbering) — not necessarily an
+// increasing one. By the conservative dominance of Lemma 4.3, the
+// optimum for a fixed order is achieved by the conservative filling, so
+// the same linear-constraint structure as WordThroughput applies with
+// per-position bandwidths taken from σ instead of class ranks:
+//
+//   - before each guarded position (prefix with j guarded, open-capacity
+//     sum OS): OS − j·T − W ≥ T, with W's candidates at open positions;
+//   - before each open position: OS + GS − (i+j)·T ≥ T.
+//
+// This is the brute-force companion used to validate Lemma 4.2 (the
+// dominance of increasing orders): max over all (n+m)! orders equals
+// max over the C(n+m, m) increasing words.
+func OrderThroughput(ins *platform.Instance, order []int) float64 {
+	total := ins.N() + ins.M()
+	if len(order) != total {
+		panic(fmt.Sprintf("core: order has %d nodes, want %d", len(order), total))
+	}
+	seen := make([]bool, total+1)
+	for _, v := range order {
+		if v < 1 || v > total || seen[v] {
+			panic(fmt.Sprintf("core: invalid order %v", order))
+		}
+		seen[v] = true
+	}
+	best := math.Inf(1)
+	consider := func(bound float64, coeff int) {
+		if v := bound / float64(coeff); v < best {
+			best = v
+		}
+	}
+	type wCand struct {
+		iS   int
+		gSum float64
+	}
+	var cands []wCand
+	oSum := ins.B0
+	gSum := 0.0
+	i, j := 0, 0
+	for _, node := range order {
+		if ins.KindOf(node) == platform.Guarded {
+			consider(oSum, j+1)
+			for _, c := range cands {
+				consider(oSum+c.gSum, j+1+c.iS)
+			}
+			gSum += ins.Bandwidth(node)
+			j++
+		} else {
+			consider(oSum+gSum, i+j+1)
+			oSum += ins.Bandwidth(node)
+			i++
+			cands = append(cands, wCand{iS: i, gSum: gSum})
+		}
+	}
+	if math.IsInf(best, 1) {
+		return ins.B0
+	}
+	return best
+}
+
+// ExhaustiveOrderOptimum maximizes OrderThroughput over every
+// permutation of the nodes. Factorial cost: n+m ≤ 8 enforced. Together
+// with ExhaustiveAcyclicOptimum it machine-checks Lemma 4.2.
+func ExhaustiveOrderOptimum(ins *platform.Instance) (float64, []int, error) {
+	total := ins.N() + ins.M()
+	if total > 8 {
+		return 0, nil, fmt.Errorf("core: exhaustive order search limited to 8 nodes, got %d", total)
+	}
+	order := make([]int, total)
+	for k := range order {
+		order[k] = k + 1
+	}
+	best := -1.0
+	var bestOrder []int
+	var permute func(k int)
+	permute = func(k int) {
+		if k == total {
+			if t := OrderThroughput(ins, order); t > best {
+				best = t
+				bestOrder = append([]int(nil), order...)
+			}
+			return
+		}
+		for l := k; l < total; l++ {
+			order[k], order[l] = order[l], order[k]
+			permute(k + 1)
+			order[k], order[l] = order[l], order[k]
+		}
+	}
+	permute(0)
+	if bestOrder == nil {
+		return ins.B0, []int{}, nil
+	}
+	return best, bestOrder, nil
+}
+
+// IsConservative checks the Lemma 4.3 / §IV-A property on an acyclic
+// scheme with respect to the order σ (paper-numbered nodes, source
+// excluded): there is no triple i < k, j < k of positions with σ(i)
+// guarded, σ(j), σ(k) open, where σ(j) feeds σ(k) while σ(i) still had
+// upload capacity left over its feeding window — i.e. open→open transfer
+// is never used while guarded capacity is available.
+//
+// The schemes produced by BuildScheme are conservative by construction
+// (open receivers drain the guarded pool first); this checker lets tests
+// assert it independently.
+func IsConservative(s *Scheme, order []int) bool {
+	ins := s.Instance()
+	pos := make(map[int]int, len(order))
+	for p, v := range order {
+		pos[v] = p
+	}
+	pos[0] = -1 // the source precedes everyone
+	for kPos, k := range order {
+		if ins.KindOf(k) != platform.Open {
+			continue
+		}
+		// Does any open node j (or the source) feed k?
+		openFeedsK := s.Rate(0, k) > 0
+		for jPos, j := range order {
+			if jPos < kPos && ins.KindOf(j) == platform.Open && s.Rate(j, k) > 0 {
+				openFeedsK = true
+			}
+		}
+		if !openFeedsK {
+			continue
+		}
+		// Then no earlier guarded node may have slack within its window:
+		// a guarded node i placed before k whose used upload toward
+		// positions ≤ kPos is strictly below its bandwidth.
+		for iPos, i := range order {
+			if iPos >= kPos || ins.KindOf(i) != platform.Guarded {
+				continue
+			}
+			used := 0.0
+			for lPos, l := range order {
+				if lPos <= kPos {
+					used += s.Rate(i, l)
+				}
+			}
+			if used < ins.Bandwidth(i)-tol(ins.Bandwidth(i)+1) {
+				return false
+			}
+		}
+	}
+	return true
+}

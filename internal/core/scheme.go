@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/maxflow"
+	"repro/internal/platform"
+)
+
+// Eps is the base tolerance used by float64 feasibility comparisons.
+// All comparisons are scale-aware: a quantity x is treated as ≥ y when
+// x ≥ y − tol(T), with tol growing with the throughput magnitude.
+const Eps = 1e-9
+
+// tol returns the comparison slack for values of magnitude around scale.
+func tol(scale float64) float64 {
+	if scale < 1 {
+		scale = 1
+	}
+	return Eps * scale
+}
+
+// Scheme is a broadcast scheme: the rate matrix {c_ij} of Section II-D
+// attached to its instance. Rates are kept sparse (only positive entries
+// are stored, since c_ij = 0 means "no connection" and must not count
+// toward outdegrees).
+type Scheme struct {
+	ins *platform.Instance
+	out []map[int]float64
+}
+
+// NewScheme returns an empty scheme for the instance.
+func NewScheme(ins *platform.Instance) *Scheme {
+	return &Scheme{ins: ins, out: make([]map[int]float64, ins.Total())}
+}
+
+// Instance returns the instance this scheme was built for.
+func (s *Scheme) Instance() *platform.Instance { return s.ins }
+
+// Add increases c[i][j] by rate. Rates below the numeric floor are
+// dropped so float dust never inflates a node's outdegree. Self-loops
+// and negative rates are programming errors and panic.
+func (s *Scheme) Add(i, j int, rate float64) {
+	if i == j {
+		panic(fmt.Sprintf("core: self-loop on node %d", i))
+	}
+	if rate < 0 {
+		panic(fmt.Sprintf("core: negative rate %v on edge (%d,%d)", rate, i, j))
+	}
+	if rate <= tol(rate) {
+		return
+	}
+	if s.out[i] == nil {
+		s.out[i] = make(map[int]float64)
+	}
+	s.out[i][j] += rate
+}
+
+// shift adjusts c[i][j] by delta (possibly negative); used by the cyclic
+// constructor's rerouting steps. Results within tolerance of zero delete
+// the edge; going materially negative panics (it would mean the
+// construction's invariants were violated).
+func (s *Scheme) shift(i, j int, delta float64) {
+	if i == j {
+		panic(fmt.Sprintf("core: self-loop on node %d", i))
+	}
+	cur := s.Rate(i, j)
+	next := cur + delta
+	if next < -tol(math.Abs(delta)+cur) {
+		panic(fmt.Sprintf("core: edge (%d,%d) driven negative: %v + %v", i, j, cur, delta))
+	}
+	if s.out[i] == nil {
+		s.out[i] = make(map[int]float64)
+	}
+	if next <= tol(math.Abs(next)) {
+		delete(s.out[i], j)
+		return
+	}
+	s.out[i][j] = next
+}
+
+// Rate returns c[i][j] (zero when absent).
+func (s *Scheme) Rate(i, j int) float64 {
+	if s.out[i] == nil {
+		return 0
+	}
+	return s.out[i][j]
+}
+
+// OutRate returns Σ_j c[i][j].
+func (s *Scheme) OutRate(i int) float64 {
+	var sum float64
+	for _, r := range s.out[i] {
+		sum += r
+	}
+	return sum
+}
+
+// InRate returns Σ_i c[i][j].
+func (s *Scheme) InRate(j int) float64 {
+	var sum float64
+	for i := range s.out {
+		if s.out[i] != nil {
+			sum += s.out[i][j]
+		}
+	}
+	return sum
+}
+
+// OutDegree returns o_i = |{j : c[i][j] > 0}|.
+func (s *Scheme) OutDegree(i int) int { return len(s.out[i]) }
+
+// MaxOutDegree returns max_i o_i.
+func (s *Scheme) MaxOutDegree() int {
+	best := 0
+	for i := range s.out {
+		if len(s.out[i]) > best {
+			best = len(s.out[i])
+		}
+	}
+	return best
+}
+
+// Edges returns all edges sorted by (From, To).
+func (s *Scheme) Edges() []graph.Edge {
+	var es []graph.Edge
+	for i := range s.out {
+		for j, r := range s.out[i] {
+			es = append(es, graph.Edge{From: i, To: j, Weight: r})
+		}
+	}
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].From != es[b].From {
+			return es[a].From < es[b].From
+		}
+		return es[a].To < es[b].To
+	})
+	return es
+}
+
+// NumEdges returns the number of positive-rate edges.
+func (s *Scheme) NumEdges() int {
+	c := 0
+	for i := range s.out {
+		c += len(s.out[i])
+	}
+	return c
+}
+
+// Graph exports the scheme as a weighted digraph.
+func (s *Scheme) Graph() *graph.Digraph {
+	g := graph.New(s.ins.Total())
+	for _, e := range s.Edges() {
+		g.AddEdge(e.From, e.To, e.Weight)
+	}
+	return g
+}
+
+// IsAcyclic reports whether the communication graph is a DAG.
+func (s *Scheme) IsAcyclic() bool { return s.Graph().IsAcyclic() }
+
+// Throughput computes T = min_i maxflow(C0 → Ci) with the float64
+// max-flow solver (the paper's definition of scheme throughput).
+func (s *Scheme) Throughput() float64 {
+	total := s.ins.Total()
+	if total <= 1 {
+		return 0
+	}
+	net := maxflow.NewNetwork(total)
+	for _, e := range s.Edges() {
+		net.AddEdge(e.From, e.To, e.Weight)
+	}
+	targets := make([]int, 0, total-1)
+	for i := 1; i < total; i++ {
+		targets = append(targets, i)
+	}
+	return net.MinFromSource(0, targets)
+}
+
+// ThroughputExact computes the throughput with exact rational max-flow.
+// Rates are converted from float64 exactly (every float64 is a rational).
+func (s *Scheme) ThroughputExact() *big.Rat {
+	total := s.ins.Total()
+	net := maxflow.NewRatNetwork(total)
+	for _, e := range s.Edges() {
+		r := new(big.Rat)
+		r.SetFloat64(e.Weight)
+		net.AddEdge(e.From, e.To, r)
+	}
+	targets := make([]int, 0, total-1)
+	for i := 1; i < total; i++ {
+		targets = append(targets, i)
+	}
+	return net.MinFromSource(0, targets)
+}
+
+// Validate checks the model constraints of Section II-D:
+//
+//   - bandwidth: Σ_j c[i][j] ≤ b_i (within tolerance),
+//   - firewall: no guarded→guarded edge,
+//   - sanity: all rates positive, no self-loops (enforced structurally).
+func (s *Scheme) Validate() error {
+	for i := range s.out {
+		outSum := s.OutRate(i)
+		bi := s.ins.Bandwidth(i)
+		if outSum > bi+tol(bi+outSum) {
+			return fmt.Errorf("core: node %d exceeds bandwidth: sends %v > b=%v", i, outSum, bi)
+		}
+		if s.ins.KindOf(i) == platform.Guarded {
+			for j := range s.out[i] {
+				if s.ins.KindOf(j) == platform.Guarded {
+					return fmt.Errorf("core: firewall violation on edge (%d,%d): both guarded", i, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// DegreeSlack returns, for a target throughput T, the per-node slack
+// o_i − ⌈b_i/T⌉ for nodes that send anything, and the maximum slack. This
+// is the paper's additive-resource-augmentation measure: Algorithm 1
+// guarantees max slack ≤ 1, Theorem 4.1 ≤ 3 (≤ 1 on guarded nodes),
+// Theorem 5.2 ≤ 2 (with an absolute floor of 4 on the degree itself).
+func (s *Scheme) DegreeSlack(T float64) (perNode []int, maxSlack int) {
+	perNode = make([]int, s.ins.Total())
+	maxSlack = math.MinInt
+	for i := range s.out {
+		if len(s.out[i]) == 0 {
+			perNode[i] = 0
+			continue
+		}
+		lb := DegreeLowerBound(s.ins.Bandwidth(i), T)
+		perNode[i] = len(s.out[i]) - lb
+		if perNode[i] > maxSlack {
+			maxSlack = perNode[i]
+		}
+	}
+	if maxSlack == math.MinInt {
+		maxSlack = 0
+	}
+	return perNode, maxSlack
+}
+
+// DegreeLowerBound returns ⌈b/T⌉, the minimum outdegree a node of
+// bandwidth b can have in any scheme of throughput T that uses all of b
+// (no edge usefully carries more than T). Float dust just below an
+// integer boundary is rounded down so the bound matches the exact value.
+func DegreeLowerBound(b, T float64) int {
+	if T <= 0 {
+		panic("core: DegreeLowerBound with non-positive throughput")
+	}
+	q := b / T
+	c := math.Ceil(q - 1e-9)
+	if c < 0 {
+		return 0
+	}
+	return int(c)
+}
+
+// String summarizes the scheme.
+func (s *Scheme) String() string {
+	return fmt.Sprintf("Scheme{%d nodes, %d edges, maxdeg=%d}", s.ins.Total(), s.NumEdges(), s.MaxOutDegree())
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/platform"
+)
+
+// Word encodes an increasing order on the nodes (Section IV-A): position
+// k holds Open ('○') when the k-th node of the order is the next unused
+// open node, Guarded ('■') when it is the next unused guarded node.
+// Because nodes of each class are sorted by non-increasing bandwidth, a
+// word fully determines the order σ (Lemma 4.2 shows increasing orders
+// are dominant).
+type Word []platform.Kind
+
+// ParseWord builds a Word from a string using 'o'/'O'/'○' for open and
+// 'g'/'G'/'■'/'#' for guarded letters.
+func ParseWord(s string) (Word, error) {
+	var w Word
+	for _, r := range s {
+		switch r {
+		case 'o', 'O', '○':
+			w = append(w, platform.Open)
+		case 'g', 'G', '■', '#':
+			w = append(w, platform.Guarded)
+		case ' ', '\t':
+			// separators allowed
+		default:
+			return nil, fmt.Errorf("core: invalid word letter %q", r)
+		}
+	}
+	return w, nil
+}
+
+// String renders the word with the paper's glyphs.
+func (w Word) String() string {
+	var sb strings.Builder
+	for _, l := range w {
+		if l == platform.Open {
+			sb.WriteRune('○')
+		} else {
+			sb.WriteRune('■')
+		}
+	}
+	return sb.String()
+}
+
+// CountOpen returns |w|○.
+func (w Word) CountOpen() int {
+	c := 0
+	for _, l := range w {
+		if l == platform.Open {
+			c++
+		}
+	}
+	return c
+}
+
+// CountGuarded returns |w|■.
+func (w Word) CountGuarded() int { return len(w) - w.CountOpen() }
+
+// Validate checks that the word matches the instance shape (n open and m
+// guarded letters).
+func (w Word) Validate(ins *platform.Instance) error {
+	if w.CountOpen() != ins.N() || w.CountGuarded() != ins.M() {
+		return fmt.Errorf("core: word %s has %d○/%d■, instance needs %d/%d",
+			w, w.CountOpen(), w.CountGuarded(), ins.N(), ins.M())
+	}
+	return nil
+}
+
+// Order expands the word into the node order σ(1..n+m) in paper node
+// numbering (the source C0 is implicitly first and not part of the word).
+// Example: for n=2, m=3 the word ■○■○■ yields [3 1 4 2 5], i.e. the
+// order σ = 031425 of Figure 5.
+func (w Word) Order(ins *platform.Instance) []int {
+	order := make([]int, 0, len(w))
+	nextOpen, nextGuarded := 1, ins.N()+1
+	for _, l := range w {
+		if l == platform.Open {
+			order = append(order, nextOpen)
+			nextOpen++
+		} else {
+			order = append(order, nextGuarded)
+			nextGuarded++
+		}
+	}
+	return order
+}
+
+// OrderString renders the full order, source included, in the paper's
+// "σ = 031425" style (node indices concatenated; multi-digit indices are
+// space-separated for readability).
+func (w Word) OrderString(ins *platform.Instance) string {
+	order := w.Order(ins)
+	multi := ins.Total() > 10
+	var sb strings.Builder
+	sb.WriteString("0")
+	for _, v := range order {
+		if multi {
+			fmt.Fprintf(&sb, " %d", v)
+		} else {
+			fmt.Fprintf(&sb, "%d", v)
+		}
+	}
+	return sb.String()
+}
+
+// AllOpenWord returns the word for an open-only instance (n letters ○).
+func AllOpenWord(n int) Word {
+	w := make(Word, n)
+	for i := range w {
+		w[i] = platform.Open
+	}
+	return w
+}

@@ -1,0 +1,231 @@
+// Package distribution provides the bandwidth distributions used by the
+// paper's average-case study (Appendix XII / Figure 19):
+//
+//   - Unif100 — uniform on [1, 100];
+//   - Power1 / Power2 — Pareto with mean 100 and standard deviation 100
+//     resp. 1000;
+//   - LN1 / LN2 — log-normal with mean 100 and standard deviation 100
+//     resp. 1000;
+//   - PLab — a uniform sampling from an empirical table of outgoing
+//     bandwidths. The paper samples PlanetLab measurements [14]; that
+//     dataset is not redistributable, so we ship a synthetic empirical
+//     table with the same qualitative character (heavy-tailed, multi-modal
+//     mixture of DSL-, campus- and server-class links). See DESIGN.md
+//     ("Substitutions").
+//
+// All samplers draw from an explicit *rand.Rand so experiments are
+// reproducible from a seed.
+package distribution
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Distribution is a positive-valued bandwidth sampler.
+type Distribution interface {
+	// Sample draws one bandwidth value (> 0).
+	Sample(rng *rand.Rand) float64
+	// Name is the label used in experiment outputs (matches the paper's).
+	Name() string
+}
+
+// ---------------------------------------------------------------------------
+
+// Uniform is the uniform distribution on [Lo, Hi].
+type Uniform struct {
+	Lo, Hi float64
+	Label  string
+}
+
+// Sample implements Distribution.
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	return u.Lo + (u.Hi-u.Lo)*rng.Float64()
+}
+
+// Name implements Distribution.
+func (u Uniform) Name() string {
+	if u.Label != "" {
+		return u.Label
+	}
+	return fmt.Sprintf("Unif[%g,%g]", u.Lo, u.Hi)
+}
+
+// ---------------------------------------------------------------------------
+
+// Pareto is the (type I) Pareto distribution with scale Xm and shape
+// Alpha: P(X > x) = (Xm/x)^Alpha for x ≥ Xm.
+type Pareto struct {
+	Xm, Alpha float64
+	Label     string
+}
+
+// ParetoMeanSD builds a Pareto distribution with the requested mean and
+// standard deviation. With r = (sd/mean)^2, the shape solves
+// alpha(alpha-2) = 1/r, i.e. alpha = 1 + sqrt(1 + 1/r) (> 2, so both
+// moments exist), and the scale is xm = mean*(alpha-1)/alpha.
+func ParetoMeanSD(mean, sd float64, label string) Pareto {
+	if mean <= 0 || sd <= 0 {
+		panic("distribution: Pareto mean and sd must be positive")
+	}
+	r := (sd / mean) * (sd / mean)
+	alpha := 1 + math.Sqrt(1+1/r)
+	xm := mean * (alpha - 1) / alpha
+	return Pareto{Xm: xm, Alpha: alpha, Label: label}
+}
+
+// Sample implements Distribution (inverse transform).
+func (p Pareto) Sample(rng *rand.Rand) float64 {
+	// 1-Float64() is in (0,1]; avoids the u=0 pole.
+	u := 1 - rng.Float64()
+	return p.Xm * math.Pow(u, -1/p.Alpha)
+}
+
+// Mean returns the analytic mean (Alpha must exceed 1).
+func (p Pareto) Mean() float64 { return p.Alpha * p.Xm / (p.Alpha - 1) }
+
+// Name implements Distribution.
+func (p Pareto) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return fmt.Sprintf("Pareto(xm=%.3g,a=%.3g)", p.Xm, p.Alpha)
+}
+
+// ---------------------------------------------------------------------------
+
+// LogNormal is the log-normal distribution: exp(Mu + Sigma*Z).
+type LogNormal struct {
+	Mu, Sigma float64
+	Label     string
+}
+
+// LogNormalMeanSD builds a log-normal distribution with the requested
+// mean and standard deviation: sigma^2 = ln(1 + (sd/mean)^2),
+// mu = ln(mean) - sigma^2/2.
+func LogNormalMeanSD(mean, sd float64, label string) LogNormal {
+	if mean <= 0 || sd <= 0 {
+		panic("distribution: LogNormal mean and sd must be positive")
+	}
+	s2 := math.Log(1 + (sd/mean)*(sd/mean))
+	return LogNormal{Mu: math.Log(mean) - s2/2, Sigma: math.Sqrt(s2), Label: label}
+}
+
+// Sample implements Distribution.
+func (l LogNormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+// Mean returns the analytic mean.
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Name implements Distribution.
+func (l LogNormal) Name() string {
+	if l.Label != "" {
+		return l.Label
+	}
+	return fmt.Sprintf("LogNormal(mu=%.3g,sigma=%.3g)", l.Mu, l.Sigma)
+}
+
+// ---------------------------------------------------------------------------
+
+// Empirical samples uniformly from a fixed table of values (the paper's
+// "PLab" methodology: uniform sampling from measured outgoing bandwidths).
+type Empirical struct {
+	Values []float64
+	Label  string
+}
+
+// Sample implements Distribution.
+func (e Empirical) Sample(rng *rand.Rand) float64 {
+	return e.Values[rng.Intn(len(e.Values))]
+}
+
+// Name implements Distribution.
+func (e Empirical) Name() string {
+	if e.Label != "" {
+		return e.Label
+	}
+	return fmt.Sprintf("Empirical(%d values)", len(e.Values))
+}
+
+// ---------------------------------------------------------------------------
+
+// Homogeneous always returns the same value; used to build the tight
+// homogeneous instances of Section VI-A.
+type Homogeneous struct {
+	Value float64
+	Label string
+}
+
+// Sample implements Distribution.
+func (h Homogeneous) Sample(*rand.Rand) float64 { return h.Value }
+
+// Name implements Distribution.
+func (h Homogeneous) Name() string {
+	if h.Label != "" {
+		return h.Label
+	}
+	return fmt.Sprintf("Homogeneous(%g)", h.Value)
+}
+
+// ---------------------------------------------------------------------------
+// The paper's six scenarios.
+
+// Unif100 is the paper's uniform scenario: U[1, 100].
+func Unif100() Distribution { return Uniform{Lo: 1, Hi: 100, Label: "Unif100"} }
+
+// Power1 is the paper's moderate-heterogeneity Pareto scenario
+// (mean 100, sd 100).
+func Power1() Distribution { return ParetoMeanSD(100, 100, "Power1") }
+
+// Power2 is the paper's high-heterogeneity Pareto scenario
+// (mean 100, sd 1000).
+func Power2() Distribution { return ParetoMeanSD(100, 1000, "Power2") }
+
+// LN1 is the paper's log-normal scenario with mean 100, sd 100.
+func LN1() Distribution { return LogNormalMeanSD(100, 100, "LN1") }
+
+// LN2 is the paper's log-normal scenario with mean 100, sd 1000.
+func LN2() Distribution { return LogNormalMeanSD(100, 1000, "LN2") }
+
+// PlanetLab returns the synthetic empirical stand-in for the paper's PLab
+// scenario (see the package comment and DESIGN.md). The table mixes four
+// link classes in proportions chosen to mimic the multi-modal, heavy-
+// tailed outgoing-bandwidth profile of PlanetLab hosts: a low-bandwidth
+// DSL-like mode, two mid-range campus modes, and a small number of
+// well-provisioned servers. Values are in Mbit/s-like units.
+func PlanetLab() Distribution {
+	return Empirical{Values: planetLabTable(), Label: "PLab"}
+}
+
+// planetLabTable deterministically expands the class profile into a
+// 200-entry table so Empirical sampling has a stable, inspectable support.
+func planetLabTable() []float64 {
+	classes := []struct {
+		count  int
+		lo, hi float64
+	}{
+		{30, 0.4, 2},    // DSL-class uplinks
+		{70, 2, 20},     // low campus / shared links
+		{80, 20, 100},   // typical PlanetLab site links
+		{20, 100, 1000}, // well-provisioned servers
+	}
+	var table []float64
+	for _, c := range classes {
+		for i := 0; i < c.count; i++ {
+			// Geometric spacing inside each class keeps the table
+			// heavy-tailed within the class, like measured data.
+			frac := float64(i) / float64(c.count-1)
+			table = append(table, c.lo*math.Pow(c.hi/c.lo, frac))
+		}
+	}
+	return table
+}
+
+// All returns the six paper scenarios in the order used by Figure 19's
+// panels: LN1, LN2, Power1, Power2, Unif100, PLab.
+func All() []Distribution {
+	return []Distribution{LN1(), LN2(), Power1(), Power2(), Unif100(), PlanetLab()}
+}

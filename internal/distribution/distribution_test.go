@@ -1,0 +1,165 @@
+package distribution
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sampleMoments draws k samples and returns empirical mean and sd.
+func sampleMoments(d Distribution, k int, seed int64) (mean, sd float64) {
+	rng := rand.New(rand.NewSource(seed))
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < k; i++ {
+		v := d.Sample(rng)
+		sum += v
+		sumsq += v * v
+	}
+	n := float64(k)
+	mean = sum / n
+	sd = math.Sqrt(math.Max(0, sumsq/n-mean*mean))
+	return
+}
+
+func TestUniformRangeAndMean(t *testing.T) {
+	d := Unif100()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		v := d.Sample(rng)
+		if v < 1 || v > 100 {
+			t.Fatalf("sample %v out of [1,100]", v)
+		}
+	}
+	mean, _ := sampleMoments(d, 200000, 2)
+	if math.Abs(mean-50.5) > 1 {
+		t.Fatalf("uniform mean %v, want ≈50.5", mean)
+	}
+}
+
+func TestParetoMeanSDParameterization(t *testing.T) {
+	p1 := ParetoMeanSD(100, 100, "")
+	if math.Abs(p1.Mean()-100) > 1e-9 {
+		t.Fatalf("analytic mean %v, want 100", p1.Mean())
+	}
+	// alpha = 1 + sqrt(2) for sd = mean.
+	if math.Abs(p1.Alpha-(1+math.Sqrt2)) > 1e-12 {
+		t.Fatalf("alpha = %v, want 1+sqrt2", p1.Alpha)
+	}
+	mean, _ := sampleMoments(p1, 400000, 3)
+	if math.Abs(mean-100) > 2 {
+		t.Fatalf("empirical Pareto mean %v, want ≈100", mean)
+	}
+	// Heavier tail: Power2 has alpha barely above 2.
+	p2 := ParetoMeanSD(100, 1000, "")
+	if p2.Alpha >= p1.Alpha || p2.Alpha <= 2 {
+		t.Fatalf("Power2 alpha %v should be in (2, %v)", p2.Alpha, p1.Alpha)
+	}
+}
+
+func TestParetoSamplesAboveScale(t *testing.T) {
+	p := ParetoMeanSD(100, 100, "")
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		if v := p.Sample(rng); v < p.Xm {
+			t.Fatalf("Pareto sample %v below scale %v", v, p.Xm)
+		}
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	l := LogNormalMeanSD(100, 100, "")
+	if math.Abs(l.Mean()-100) > 1e-9 {
+		t.Fatalf("analytic mean %v", l.Mean())
+	}
+	mean, sd := sampleMoments(l, 400000, 5)
+	if math.Abs(mean-100) > 2 {
+		t.Fatalf("empirical LN mean %v, want ≈100", mean)
+	}
+	if math.Abs(sd-100) > 5 {
+		t.Fatalf("empirical LN sd %v, want ≈100", sd)
+	}
+}
+
+func TestEmpiricalSamplesFromTable(t *testing.T) {
+	e := Empirical{Values: []float64{1, 2, 4}}
+	rng := rand.New(rand.NewSource(6))
+	seen := map[float64]bool{}
+	for i := 0; i < 1000; i++ {
+		v := e.Sample(rng)
+		if v != 1 && v != 2 && v != 4 {
+			t.Fatalf("sample %v not in table", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("only saw %d of 3 table values", len(seen))
+	}
+}
+
+func TestPlanetLabTable(t *testing.T) {
+	d := PlanetLab().(Empirical)
+	if len(d.Values) != 200 {
+		t.Fatalf("PLab table has %d entries, want 200", len(d.Values))
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range d.Values {
+		if v <= 0 {
+			t.Fatalf("non-positive table value %v", v)
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	// Heavy spread: three orders of magnitude, like measured PlanetLab
+	// outgoing bandwidths.
+	if hi/lo < 1000 {
+		t.Fatalf("PLab spread %v too small for a heavy-tailed stand-in", hi/lo)
+	}
+}
+
+func TestHomogeneous(t *testing.T) {
+	h := Homogeneous{Value: 7}
+	if h.Sample(nil) != 7 {
+		t.Fatal("homogeneous sample wrong")
+	}
+}
+
+func TestNamesMatchPaperLabels(t *testing.T) {
+	want := []string{"LN1", "LN2", "Power1", "Power2", "Unif100", "PLab"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d entries", len(all))
+	}
+	for i, d := range all {
+		if d.Name() != want[i] {
+			t.Errorf("All()[%d].Name = %q, want %q", i, d.Name(), want[i])
+		}
+	}
+}
+
+func TestAllSamplersPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, d := range All() {
+		for i := 0; i < 20000; i++ {
+			if v := d.Sample(rng); v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s produced invalid sample %v", d.Name(), v)
+			}
+		}
+	}
+}
+
+func TestMeanSDPanicsOnInvalid(t *testing.T) {
+	for _, f := range []func(){
+		func() { ParetoMeanSD(0, 1, "") },
+		func() { ParetoMeanSD(1, 0, "") },
+		func() { LogNormalMeanSD(-1, 1, "") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,79 @@
+package generator
+
+import "sort"
+
+// SolveThreePartition searches for a solution of the 3-PARTITION
+// instance (a, T) by backtracking: a partition of the values into
+// triples, each summing to exactly T. It returns the triples as 1-based
+// ranks into the values sorted in non-increasing order — the node
+// numbering of the broadcast instance built by ThreePartition — and
+// whether a solution exists.
+//
+// 3-PARTITION is strongly NP-complete; this solver is exponential and
+// meant for the small certification instances of the Theorem 3.1
+// reduction demo, not for production use.
+func SolveThreePartition(a []int, T int) ([][3]int, bool) {
+	if len(a)%3 != 0 || len(a) == 0 {
+		return nil, false
+	}
+	p := len(a) / 3
+	// Sort descending, remembering ranks (stable tie handling is
+	// irrelevant: equal values are interchangeable).
+	sorted := append([]int(nil), a...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	sum := 0
+	for _, v := range sorted {
+		sum += v
+	}
+	if sum != p*T {
+		return nil, false
+	}
+
+	used := make([]bool, len(sorted))
+	triples := make([][3]int, 0, p)
+
+	// Always anchor each new triple at the first unused (largest) value:
+	// it must belong to some triple, so trying it first avoids revisiting
+	// symmetric arrangements.
+	var solve func(remaining int) bool
+	solve = func(remaining int) bool {
+		if remaining == 0 {
+			return true
+		}
+		first := -1
+		for i, u := range used {
+			if !u {
+				first = i
+				break
+			}
+		}
+		used[first] = true
+		for j := first + 1; j < len(sorted); j++ {
+			if used[j] || sorted[first]+sorted[j] >= T {
+				continue
+			}
+			used[j] = true
+			target := T - sorted[first] - sorted[j]
+			for k := j + 1; k < len(sorted); k++ {
+				if used[k] || sorted[k] != target {
+					continue
+				}
+				used[k] = true
+				triples = append(triples, [3]int{first + 1, j + 1, k + 1})
+				if solve(remaining - 1) {
+					return true
+				}
+				triples = triples[:len(triples)-1]
+				used[k] = false
+				break // equal values are interchangeable; one try suffices
+			}
+			used[j] = false
+		}
+		used[first] = false
+		return false
+	}
+	if solve(p) {
+		return triples, true
+	}
+	return nil, false
+}

@@ -1,0 +1,203 @@
+// Package graph provides a small weighted digraph used to represent
+// broadcast overlays: adjacency storage, topological sorting, cycle
+// detection and reachability. It is deliberately minimal — schemes in
+// this repository are dense on a few hundred to a few thousand nodes,
+// and all higher-level semantics (bandwidth constraints, firewall rules)
+// live in internal/core.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a weighted directed edge.
+type Edge struct {
+	From, To int
+	Weight   float64
+}
+
+// Digraph is a weighted directed graph over nodes 0..N-1. The zero value
+// is not ready to use; call New.
+type Digraph struct {
+	n   int
+	out [][]Edge // out[i] = edges leaving i, in insertion order
+	in  [][]Edge // in[j] = edges entering j
+}
+
+// New returns an empty digraph on n nodes.
+func New(n int) *Digraph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Digraph{n: n, out: make([][]Edge, n), in: make([][]Edge, n)}
+}
+
+// N returns the number of nodes.
+func (g *Digraph) N() int { return g.n }
+
+// AddEdge inserts a directed edge. Zero- or negative-weight edges are
+// ignored: a scheme entry c[i][j] = 0 means "no connection" in the paper's
+// model, and degree accounting must not see it.
+func (g *Digraph) AddEdge(from, to int, w float64) {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", from, to, g.n))
+	}
+	if w <= 0 {
+		return
+	}
+	e := Edge{From: from, To: to, Weight: w}
+	g.out[from] = append(g.out[from], e)
+	g.in[to] = append(g.in[to], e)
+}
+
+// Out returns the outgoing edges of node i (shared slice; do not mutate).
+func (g *Digraph) Out(i int) []Edge { return g.out[i] }
+
+// In returns the incoming edges of node j (shared slice; do not mutate).
+func (g *Digraph) In(j int) []Edge { return g.in[j] }
+
+// OutDegree returns the number of outgoing edges of node i.
+func (g *Digraph) OutDegree(i int) int { return len(g.out[i]) }
+
+// InDegree returns the number of incoming edges of node j.
+func (g *Digraph) InDegree(j int) int { return len(g.in[j]) }
+
+// OutWeight returns the total weight leaving node i.
+func (g *Digraph) OutWeight(i int) float64 {
+	var s float64
+	for _, e := range g.out[i] {
+		s += e.Weight
+	}
+	return s
+}
+
+// InWeight returns the total weight entering node j.
+func (g *Digraph) InWeight(j int) float64 {
+	var s float64
+	for _, e := range g.in[j] {
+		s += e.Weight
+	}
+	return s
+}
+
+// Edges returns all edges sorted by (From, To) for deterministic output.
+func (g *Digraph) Edges() []Edge {
+	var es []Edge
+	for i := range g.out {
+		es = append(es, g.out[i]...)
+	}
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].From != es[b].From {
+			return es[a].From < es[b].From
+		}
+		return es[a].To < es[b].To
+	})
+	return es
+}
+
+// NumEdges returns the number of (positive-weight) edges.
+func (g *Digraph) NumEdges() int {
+	c := 0
+	for i := range g.out {
+		c += len(g.out[i])
+	}
+	return c
+}
+
+// TopoSort returns a topological order of the nodes and true, or nil and
+// false when the graph contains a cycle. Kahn's algorithm; ties broken by
+// smallest node index so the order is deterministic.
+func (g *Digraph) TopoSort() ([]int, bool) {
+	indeg := make([]int, g.n)
+	for j := 0; j < g.n; j++ {
+		indeg[j] = len(g.in[j])
+	}
+	// Min-heap behaviour via sorted frontier; n is small enough that a
+	// simple ordered slice keeps the code obvious.
+	frontier := make([]int, 0, g.n)
+	for i := 0; i < g.n; i++ {
+		if indeg[i] == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	sort.Ints(frontier)
+	order := make([]int, 0, g.n)
+	for len(frontier) > 0 {
+		v := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, v)
+		changed := false
+		for _, e := range g.out[v] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				frontier = append(frontier, e.To)
+				changed = true
+			}
+		}
+		if changed {
+			sort.Ints(frontier)
+		}
+	}
+	if len(order) != g.n {
+		return nil, false
+	}
+	return order, true
+}
+
+// IsAcyclic reports whether the graph is a DAG.
+func (g *Digraph) IsAcyclic() bool {
+	_, ok := g.TopoSort()
+	return ok
+}
+
+// ReachableFrom returns the set of nodes reachable from src (including
+// src) following positive-weight edges.
+func (g *Digraph) ReachableFrom(src int) []bool {
+	seen := make([]bool, g.n)
+	stack := []int{src}
+	seen[src] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.out[v] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// Depth returns, for a DAG, the maximum over nodes of the length (in hops)
+// of the longest path from src. Nodes unreachable from src are ignored.
+// It returns -1 when the graph is cyclic. Scheme depth matters for the
+// streaming delay discussion in the paper's conclusion.
+func (g *Digraph) Depth(src int) int {
+	order, ok := g.TopoSort()
+	if !ok {
+		return -1
+	}
+	const unreached = -1
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = unreached
+	}
+	dist[src] = 0
+	maxd := 0
+	for _, v := range order {
+		if dist[v] == unreached {
+			continue
+		}
+		for _, e := range g.out[v] {
+			if dist[v]+1 > dist[e.To] {
+				dist[e.To] = dist[v] + 1
+				if dist[e.To] > maxd {
+					maxd = dist[e.To]
+				}
+			}
+		}
+	}
+	return maxd
+}

@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAddEdgeAndAccessors(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 2.5)
+	g.AddEdge(0, 2, 1.5)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(2, 3, 0) // ignored: zero weight is "no connection"
+	if g.N() != 4 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(2) != 2 || g.OutDegree(2) != 0 {
+		t.Fatal("degree accounting wrong")
+	}
+	if w := g.OutWeight(0); w != 4 {
+		t.Fatalf("OutWeight(0) = %v, want 4", w)
+	}
+	if w := g.InWeight(2); w != 4.5 {
+		t.Fatalf("InWeight(2) = %v, want 4.5", w)
+	}
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).AddEdge(0, 5, 1)
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := New(3)
+	g.AddEdge(2, 0, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(0, 1, 1)
+	es := g.Edges()
+	if len(es) != 3 || es[0].To != 1 || es[1].To != 2 || es[2].From != 2 {
+		t.Fatalf("Edges not sorted: %v", es)
+	}
+}
+
+func TestTopoSortDAG(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 4, 1)
+	order, ok := g.TopoSort()
+	if !ok {
+		t.Fatal("DAG reported cyclic")
+	}
+	pos := make([]int, 5)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("topological violation on edge %v", e)
+		}
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 0, 1)
+	if _, ok := g.TopoSort(); ok {
+		t.Fatal("cycle not detected")
+	}
+	if g.IsAcyclic() {
+		t.Fatal("IsAcyclic wrong")
+	}
+}
+
+func TestSelfLoopIsCycle(t *testing.T) {
+	g := New(2)
+	g.AddEdge(1, 1, 1)
+	if g.IsAcyclic() {
+		t.Fatal("self-loop not detected as cycle")
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	seen := g.ReachableFrom(0)
+	want := []bool{true, true, true, false, false}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("ReachableFrom(0)[%d] = %v, want %v", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 3, 1)
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(2, 4, 1) // longest path 0-1-2-4 length 3
+	if d := g.Depth(0); d != 3 {
+		t.Fatalf("Depth = %d, want 3", d)
+	}
+	cyc := New(2)
+	cyc.AddEdge(0, 1, 1)
+	cyc.AddEdge(1, 0, 1)
+	if d := cyc.Depth(0); d != -1 {
+		t.Fatalf("cyclic Depth = %d, want -1", d)
+	}
+}
+
+// TestRandomDAGTopoSort: random DAGs (edges only i→j with i<j) always
+// topo-sort, and the order respects every edge.
+func TestRandomDAGTopoSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(30)
+		g := New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.2 {
+					g.AddEdge(i, j, rng.Float64())
+				}
+			}
+		}
+		order, ok := g.TopoSort()
+		if !ok {
+			t.Fatal("random DAG reported cyclic")
+		}
+		pos := make([]int, n)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				t.Fatalf("trial %d: order violates edge %v", trial, e)
+			}
+		}
+	}
+}
+
+// TestRandomCycleDetected: planting a random back edge into a dense DAG
+// chain makes it cyclic.
+func TestRandomCycleDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(20)
+		g := New(n)
+		for i := 0; i < n-1; i++ {
+			g.AddEdge(i, i+1, 1)
+		}
+		j := rng.Intn(n - 1)
+		k := j + 1 + rng.Intn(n-j-1)
+		g.AddEdge(k, j, 1)
+		if g.IsAcyclic() {
+			t.Fatalf("trial %d: planted cycle %d→%d missed", trial, k, j)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package maxflow implements maximum s-t flow on small directed networks.
+//
+// Broadcast-scheme throughput in the paper is defined as
+// T = min_i maxflow(C0 → Ci) over the weighted overlay graph, so a flow
+// solver is the verification substrate for every constructive algorithm
+// in internal/core. Two implementations are provided:
+//
+//   - Dinic on float64 capacities — fast path used by the experiment
+//     harness (thousands of nodes);
+//   - Edmonds–Karp on *big.Rat capacities — exact path used by tests and
+//     the exhaustive optimizer, immune to rounding noise.
+package maxflow
+
+import (
+	"math"
+	"math/big"
+)
+
+// Eps is the tolerance used by the float64 solver when deciding whether a
+// residual capacity is usable. Capacities in the experiments are O(1e3),
+// so 1e-9 leaves ~6 orders of magnitude of headroom.
+const Eps = 1e-9
+
+type edge struct {
+	to  int
+	cap float64
+	rev int // index of the reverse edge in adj[to]
+}
+
+// Network is a flow network on nodes 0..n-1 with float64 capacities.
+type Network struct {
+	n   int
+	adj [][]edge
+}
+
+// NewNetwork returns an empty network on n nodes.
+func NewNetwork(n int) *Network {
+	return &Network{n: n, adj: make([][]edge, n)}
+}
+
+// AddEdge adds a directed edge with the given capacity. Non-positive
+// capacities are ignored.
+func (g *Network) AddEdge(from, to int, cap float64) {
+	if cap <= 0 || from == to {
+		return
+	}
+	g.adj[from] = append(g.adj[from], edge{to: to, cap: cap, rev: len(g.adj[to])})
+	g.adj[to] = append(g.adj[to], edge{to: from, cap: 0, rev: len(g.adj[from]) - 1})
+}
+
+// Max computes the maximum flow from s to t with Dinic's algorithm.
+// The network's residual capacities are consumed: call Max once per
+// Network (clone the network for repeated queries).
+func (g *Network) Max(s, t int) float64 {
+	if s == t {
+		return math.Inf(1)
+	}
+	var total float64
+	level := make([]int, g.n)
+	iter := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+	for {
+		// BFS layering.
+		for i := range level {
+			level[i] = -1
+		}
+		queue = queue[:0]
+		queue = append(queue, s)
+		level[s] = 0
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			for _, e := range g.adj[v] {
+				if e.cap > Eps && level[e.to] < 0 {
+					level[e.to] = level[v] + 1
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		if level[t] < 0 {
+			return total
+		}
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := g.dfs(s, t, math.Inf(1), level, iter)
+			if f <= Eps {
+				break
+			}
+			total += f
+		}
+	}
+}
+
+func (g *Network) dfs(v, t int, f float64, level, iter []int) float64 {
+	if v == t {
+		return f
+	}
+	for ; iter[v] < len(g.adj[v]); iter[v]++ {
+		e := &g.adj[v][iter[v]]
+		if e.cap <= Eps || level[e.to] != level[v]+1 {
+			continue
+		}
+		d := g.dfs(e.to, t, math.Min(f, e.cap), level, iter)
+		if d > Eps {
+			e.cap -= d
+			g.adj[e.to][e.rev].cap += d
+			return d
+		}
+	}
+	return 0
+}
+
+// Clone returns a deep copy of the network (for repeated max-flow queries
+// from the same base capacities).
+func (g *Network) Clone() *Network {
+	c := &Network{n: g.n, adj: make([][]edge, g.n)}
+	for i := range g.adj {
+		c.adj[i] = append([]edge(nil), g.adj[i]...)
+	}
+	return c
+}
+
+// MinFromSource returns min over targets of maxflow(s→target). This is
+// the paper's throughput functional. Targets with target == s are skipped.
+func (g *Network) MinFromSource(s int, targets []int) float64 {
+	minFlow := math.Inf(1)
+	for _, t := range targets {
+		if t == s {
+			continue
+		}
+		f := g.Clone().Max(s, t)
+		if f < minFlow {
+			minFlow = f
+		}
+	}
+	if math.IsInf(minFlow, 1) {
+		return 0
+	}
+	return minFlow
+}
+
+// ---------------------------------------------------------------------------
+// Exact solver.
+
+type ratEdge struct {
+	to  int
+	cap *big.Rat
+	rev int
+}
+
+// RatNetwork is a flow network with exact rational capacities.
+type RatNetwork struct {
+	n   int
+	adj [][]ratEdge
+}
+
+// NewRatNetwork returns an empty exact network on n nodes.
+func NewRatNetwork(n int) *RatNetwork {
+	return &RatNetwork{n: n, adj: make([][]ratEdge, n)}
+}
+
+// AddEdge adds a directed edge with exact capacity (copied). Non-positive
+// capacities are ignored.
+func (g *RatNetwork) AddEdge(from, to int, cap *big.Rat) {
+	if cap.Sign() <= 0 || from == to {
+		return
+	}
+	g.adj[from] = append(g.adj[from], ratEdge{to: to, cap: new(big.Rat).Set(cap), rev: len(g.adj[to])})
+	g.adj[to] = append(g.adj[to], ratEdge{to: from, cap: new(big.Rat), rev: len(g.adj[from]) - 1})
+}
+
+// Clone returns a deep copy.
+func (g *RatNetwork) Clone() *RatNetwork {
+	c := &RatNetwork{n: g.n, adj: make([][]ratEdge, g.n)}
+	for i := range g.adj {
+		c.adj[i] = make([]ratEdge, len(g.adj[i]))
+		for j, e := range g.adj[i] {
+			c.adj[i][j] = ratEdge{to: e.to, cap: new(big.Rat).Set(e.cap), rev: e.rev}
+		}
+	}
+	return c
+}
+
+// Max computes the exact maximum s-t flow with Edmonds–Karp (BFS shortest
+// augmenting paths). Residual capacities are consumed.
+func (g *RatNetwork) Max(s, t int) *big.Rat {
+	total := new(big.Rat)
+	if s == t {
+		return total
+	}
+	prevNode := make([]int, g.n)
+	prevEdge := make([]int, g.n)
+	for {
+		for i := range prevNode {
+			prevNode[i] = -1
+		}
+		prevNode[s] = s
+		queue := []int{s}
+		for qi := 0; qi < len(queue) && prevNode[t] < 0; qi++ {
+			v := queue[qi]
+			for ei := range g.adj[v] {
+				e := &g.adj[v][ei]
+				if e.cap.Sign() > 0 && prevNode[e.to] < 0 {
+					prevNode[e.to] = v
+					prevEdge[e.to] = ei
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		if prevNode[t] < 0 {
+			return total
+		}
+		// Bottleneck along the path.
+		var bottleneck *big.Rat
+		for v := t; v != s; v = prevNode[v] {
+			e := &g.adj[prevNode[v]][prevEdge[v]]
+			if bottleneck == nil || e.cap.Cmp(bottleneck) < 0 {
+				bottleneck = e.cap
+			}
+		}
+		aug := new(big.Rat).Set(bottleneck)
+		for v := t; v != s; v = prevNode[v] {
+			e := &g.adj[prevNode[v]][prevEdge[v]]
+			e.cap.Sub(e.cap, aug)
+			rev := &g.adj[v][e.rev]
+			rev.cap.Add(rev.cap, aug)
+		}
+		total.Add(total, aug)
+	}
+}
+
+// MinFromSource returns the exact min over targets of maxflow(s→target).
+func (g *RatNetwork) MinFromSource(s int, targets []int) *big.Rat {
+	var minFlow *big.Rat
+	for _, t := range targets {
+		if t == s {
+			continue
+		}
+		f := g.Clone().Max(s, t)
+		if minFlow == nil || f.Cmp(minFlow) < 0 {
+			minFlow = f
+		}
+	}
+	if minFlow == nil {
+		return new(big.Rat)
+	}
+	return minFlow
+}

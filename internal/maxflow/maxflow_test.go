@@ -1,0 +1,166 @@
+package maxflow
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestDinicDiamond(t *testing.T) {
+	// Classic diamond: 0→1 (3), 0→2 (2), 1→3 (2), 2→3 (3), 1→2 (1).
+	g := NewNetwork(4)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(1, 3, 2)
+	g.AddEdge(2, 3, 3)
+	g.AddEdge(1, 2, 1)
+	if f := g.Max(0, 3); math.Abs(f-5) > 1e-9 {
+		t.Fatalf("maxflow = %v, want 5", f)
+	}
+}
+
+func TestDinicDisconnected(t *testing.T) {
+	g := NewNetwork(3)
+	g.AddEdge(0, 1, 1)
+	if f := g.Max(0, 2); f != 0 {
+		t.Fatalf("maxflow to unreachable node = %v, want 0", f)
+	}
+}
+
+func TestDinicParallelAndIgnoredEdges(t *testing.T) {
+	g := NewNetwork(2)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 1, 2.5) // parallel edges accumulate
+	g.AddEdge(0, 1, -3)  // ignored
+	g.AddEdge(0, 0, 7)   // self-loop ignored
+	if f := g.Max(0, 1); math.Abs(f-3.5) > 1e-9 {
+		t.Fatalf("maxflow = %v, want 3.5", f)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := NewNetwork(2)
+	g.AddEdge(0, 1, 2)
+	c := g.Clone()
+	if f := c.Max(0, 1); math.Abs(f-2) > 1e-9 {
+		t.Fatalf("clone maxflow = %v", f)
+	}
+	// Original still intact.
+	if f := g.Max(0, 1); math.Abs(f-2) > 1e-9 {
+		t.Fatalf("original consumed by clone run: %v", f)
+	}
+}
+
+func TestMinFromSource(t *testing.T) {
+	// Star: 0 feeds 1 with 5, 1 feeds 2 with 3.
+	g := NewNetwork(3)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 3)
+	if f := g.MinFromSource(0, []int{1, 2}); math.Abs(f-3) > 1e-9 {
+		t.Fatalf("MinFromSource = %v, want 3", f)
+	}
+}
+
+func TestRatDiamondExact(t *testing.T) {
+	g := NewRatNetwork(4)
+	add := func(a, b int, num, den int64) { g.AddEdge(a, b, big.NewRat(num, den)) }
+	add(0, 1, 1, 3)
+	add(0, 2, 1, 7)
+	add(1, 3, 1, 4)
+	add(2, 3, 1, 2)
+	add(1, 2, 1, 5)
+	// Max flow = min(cut). Source cut: 1/3+1/7 = 10/21. Sink cut:
+	// 1/4+1/2 = 3/4. Path capacities: through 1→3: 1/4; 1→2 extra:
+	// min(1/3-1/4, 1/5, ...)... rely on float cross-check instead.
+	f := g.Max(0, 3)
+	fg := NewNetwork(4)
+	fg.AddEdge(0, 1, 1.0/3)
+	fg.AddEdge(0, 2, 1.0/7)
+	fg.AddEdge(1, 3, 1.0/4)
+	fg.AddEdge(2, 3, 1.0/2)
+	fg.AddEdge(1, 2, 1.0/5)
+	want := fg.Max(0, 3)
+	got, _ := f.Float64()
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("exact %v vs float %v", got, want)
+	}
+}
+
+// brute computes max flow by enumerating all edge subsets' cuts — only
+// for tiny graphs; serves as an independent oracle.
+func bruteMinCut(n int, edges [][3]float64, s, tt int) float64 {
+	best := math.Inf(1)
+	// Enumerate vertex bipartitions with s on one side, t on the other.
+	for mask := 0; mask < 1<<n; mask++ {
+		if mask&(1<<s) == 0 || mask&(1<<tt) != 0 {
+			continue
+		}
+		var cut float64
+		for _, e := range edges {
+			from, to := int(e[0]), int(e[1])
+			if mask&(1<<from) != 0 && mask&(1<<to) == 0 {
+				cut += e[2]
+			}
+		}
+		if cut < best {
+			best = cut
+		}
+	}
+	return best
+}
+
+// TestDinicAgainstMinCutOracle: max-flow = min-cut on random small
+// graphs (float and exact solvers both).
+func TestDinicAgainstMinCutOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(6)
+		var edges [][3]float64
+		g := NewNetwork(n)
+		rg := NewRatNetwork(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Float64() < 0.45 {
+					// Dyadic weights so float arithmetic is exact.
+					w := float64(1+rng.Intn(32)) / 8
+					edges = append(edges, [3]float64{float64(i), float64(j), w})
+					g.AddEdge(i, j, w)
+					r := new(big.Rat)
+					r.SetFloat64(w)
+					rg.AddEdge(i, j, r)
+				}
+			}
+		}
+		s, tt := 0, n-1
+		want := bruteMinCut(n, edges, s, tt)
+		got := g.Max(s, tt)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: Dinic %v, min-cut %v (n=%d, edges=%v)", trial, got, want, n, edges)
+		}
+		gotR, _ := rg.Max(s, tt).Float64()
+		if math.Abs(gotR-want) > 1e-9 {
+			t.Fatalf("trial %d: exact EK %v, min-cut %v", trial, gotR, want)
+		}
+	}
+}
+
+func TestRatMinFromSource(t *testing.T) {
+	g := NewRatNetwork(3)
+	g.AddEdge(0, 1, big.NewRat(5, 1))
+	g.AddEdge(1, 2, big.NewRat(3, 1))
+	if f := g.MinFromSource(0, []int{1, 2}); f.Cmp(big.NewRat(3, 1)) != 0 {
+		t.Fatalf("MinFromSource = %v, want 3", f)
+	}
+}
+
+func TestMinFromSourceNoTargets(t *testing.T) {
+	g := NewNetwork(1)
+	if f := g.MinFromSource(0, nil); f != 0 {
+		t.Fatalf("empty targets = %v, want 0", f)
+	}
+	rg := NewRatNetwork(1)
+	if f := rg.MinFromSource(0, nil); f.Sign() != 0 {
+		t.Fatalf("exact empty targets = %v, want 0", f)
+	}
+}

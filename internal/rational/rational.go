@@ -1,0 +1,180 @@
+// Package rational provides thin convenience helpers over math/big.Rat.
+//
+// The broadcast algorithms in this repository are combinatorial: every
+// throughput value of interest is a rational function of the input
+// bandwidths. The float64 code paths are fast enough for large-scale
+// experiments, but tests and the exhaustive optimizer want exact
+// arithmetic so that "is T feasible?" never flips on rounding noise.
+// This package keeps the big.Rat boilerplate out of the algorithm code.
+package rational
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Rat is an immutable-by-convention rational number. All helper functions
+// in this package allocate fresh results and never mutate their arguments,
+// which keeps algorithm code referentially transparent at the cost of a
+// few allocations (irrelevant next to the combinatorial search cost).
+type Rat = big.Rat
+
+// New returns the rational a/b. It panics if b == 0.
+func New(a, b int64) *Rat {
+	if b == 0 {
+		panic("rational: zero denominator")
+	}
+	return big.NewRat(a, b)
+}
+
+// FromInt returns the rational n/1.
+func FromInt(n int64) *Rat { return big.NewRat(n, 1) }
+
+// FromFloat converts a float64 exactly (it panics on NaN/Inf, which never
+// appear in valid instances).
+func FromFloat(f float64) *Rat {
+	r := new(big.Rat)
+	if r.SetFloat64(f) == nil {
+		panic(fmt.Sprintf("rational: cannot represent %v", f))
+	}
+	return r
+}
+
+// Zero returns a fresh zero value.
+func Zero() *Rat { return new(big.Rat) }
+
+// Clone returns a copy of x.
+func Clone(x *Rat) *Rat { return new(big.Rat).Set(x) }
+
+// Add returns x + y.
+func Add(x, y *Rat) *Rat { return new(big.Rat).Add(x, y) }
+
+// Sub returns x - y.
+func Sub(x, y *Rat) *Rat { return new(big.Rat).Sub(x, y) }
+
+// Mul returns x * y.
+func Mul(x, y *Rat) *Rat { return new(big.Rat).Mul(x, y) }
+
+// Div returns x / y. It panics if y == 0.
+func Div(x, y *Rat) *Rat {
+	if y.Sign() == 0 {
+		panic("rational: division by zero")
+	}
+	return new(big.Rat).Quo(x, y)
+}
+
+// MulInt returns x * n.
+func MulInt(x *Rat, n int64) *Rat { return Mul(x, FromInt(n)) }
+
+// DivInt returns x / n. It panics if n == 0.
+func DivInt(x *Rat, n int64) *Rat { return Div(x, FromInt(n)) }
+
+// Neg returns -x.
+func Neg(x *Rat) *Rat { return new(big.Rat).Neg(x) }
+
+// Min returns the smaller of x and y (x on ties).
+func Min(x, y *Rat) *Rat {
+	if x.Cmp(y) <= 0 {
+		return Clone(x)
+	}
+	return Clone(y)
+}
+
+// Max returns the larger of x and y (x on ties).
+func Max(x, y *Rat) *Rat {
+	if x.Cmp(y) >= 0 {
+		return Clone(x)
+	}
+	return Clone(y)
+}
+
+// MinOf returns the minimum of a non-empty list.
+func MinOf(xs ...*Rat) *Rat {
+	if len(xs) == 0 {
+		panic("rational: MinOf of empty list")
+	}
+	m := Clone(xs[0])
+	for _, x := range xs[1:] {
+		if x.Cmp(m) < 0 {
+			m.Set(x)
+		}
+	}
+	return m
+}
+
+// MaxOf returns the maximum of a non-empty list.
+func MaxOf(xs ...*Rat) *Rat {
+	if len(xs) == 0 {
+		panic("rational: MaxOf of empty list")
+	}
+	m := Clone(xs[0])
+	for _, x := range xs[1:] {
+		if x.Cmp(m) > 0 {
+			m.Set(x)
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs (zero for the empty list).
+func Sum(xs ...*Rat) *Rat {
+	s := Zero()
+	for _, x := range xs {
+		s.Add(s, x)
+	}
+	return s
+}
+
+// Cmp is a convenience alias: -1 if x<y, 0 if equal, +1 if x>y.
+func Cmp(x, y *Rat) int { return x.Cmp(y) }
+
+// Less reports x < y.
+func Less(x, y *Rat) bool { return x.Cmp(y) < 0 }
+
+// LessEq reports x <= y.
+func LessEq(x, y *Rat) bool { return x.Cmp(y) <= 0 }
+
+// Greater reports x > y.
+func Greater(x, y *Rat) bool { return x.Cmp(y) > 0 }
+
+// GreaterEq reports x >= y.
+func GreaterEq(x, y *Rat) bool { return x.Cmp(y) >= 0 }
+
+// Eq reports x == y.
+func Eq(x, y *Rat) bool { return x.Cmp(y) == 0 }
+
+// IsZero reports x == 0.
+func IsZero(x *Rat) bool { return x.Sign() == 0 }
+
+// Float returns the nearest float64.
+func Float(x *Rat) float64 {
+	f, _ := x.Float64()
+	return f
+}
+
+// CeilDiv returns ceil(x / y) as an int. It panics when y <= 0 or when the
+// result does not fit an int. This implements the paper's ⌈b_i/T⌉ degree
+// lower bound exactly.
+func CeilDiv(x, y *Rat) int {
+	if y.Sign() <= 0 {
+		panic("rational: CeilDiv by non-positive")
+	}
+	q := new(big.Rat).Quo(x, y)
+	num, den := q.Num(), q.Denom()
+	z := new(big.Int).Div(num, den) // floor division for big.Int with positive den
+	if new(big.Int).Mul(z, den).Cmp(num) != 0 {
+		z.Add(z, big.NewInt(1))
+	}
+	if !z.IsInt64() {
+		panic("rational: CeilDiv overflow")
+	}
+	return int(z.Int64())
+}
+
+// Mediant returns (a.num+b.num)/(a.den+b.den); used by Stern–Brocot style
+// searches for small-denominator rationals in tests.
+func Mediant(a, b *Rat) *Rat {
+	num := new(big.Int).Add(a.Num(), b.Num())
+	den := new(big.Int).Add(a.Denom(), b.Denom())
+	return new(big.Rat).SetFrac(num, den)
+}

@@ -1,0 +1,171 @@
+package rational
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndArithmetic(t *testing.T) {
+	a := New(3, 4)
+	b := New(1, 4)
+	if got := Add(a, b); !Eq(got, FromInt(1)) {
+		t.Errorf("3/4 + 1/4 = %v, want 1", got)
+	}
+	if got := Sub(a, b); !Eq(got, New(1, 2)) {
+		t.Errorf("3/4 - 1/4 = %v, want 1/2", got)
+	}
+	if got := Mul(a, b); !Eq(got, New(3, 16)) {
+		t.Errorf("3/4 * 1/4 = %v, want 3/16", got)
+	}
+	if got := Div(a, b); !Eq(got, FromInt(3)) {
+		t.Errorf("3/4 / 1/4 = %v, want 3", got)
+	}
+	if got := Neg(a); !Eq(got, New(-3, 4)) {
+		t.Errorf("-(3/4) = %v", got)
+	}
+}
+
+func TestNewPanicsOnZeroDenominator(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1, 0)
+}
+
+func TestDivPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Div(FromInt(1), Zero())
+}
+
+func TestImmutability(t *testing.T) {
+	a := New(1, 2)
+	b := New(1, 3)
+	_ = Add(a, b)
+	_ = MinOf(a, b)
+	_ = Sum(a, b)
+	if !Eq(a, New(1, 2)) || !Eq(b, New(1, 3)) {
+		t.Fatal("helpers mutated their arguments")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a, b := New(2, 3), New(3, 4)
+	if !Eq(Min(a, b), a) || !Eq(Max(a, b), b) {
+		t.Error("Min/Max wrong")
+	}
+	if !Eq(MinOf(b, a, FromInt(1)), a) {
+		t.Error("MinOf wrong")
+	}
+	if !Eq(MaxOf(a, b, New(1, 8)), b) {
+		t.Error("MaxOf wrong")
+	}
+}
+
+func TestComparisonHelpers(t *testing.T) {
+	a, b := New(1, 3), New(1, 2)
+	if !Less(a, b) || !LessEq(a, b) || !LessEq(a, a) {
+		t.Error("Less/LessEq wrong")
+	}
+	if !Greater(b, a) || !GreaterEq(b, a) || !GreaterEq(b, b) {
+		t.Error("Greater/GreaterEq wrong")
+	}
+	if Cmp(a, b) != -1 || Cmp(b, a) != 1 || Cmp(a, a) != 0 {
+		t.Error("Cmp wrong")
+	}
+	if !IsZero(Zero()) || IsZero(a) {
+		t.Error("IsZero wrong")
+	}
+}
+
+func TestFromFloatExact(t *testing.T) {
+	if got := FromFloat(0.5); !Eq(got, New(1, 2)) {
+		t.Errorf("FromFloat(0.5) = %v", got)
+	}
+	if got := Float(New(1, 4)); got != 0.25 {
+		t.Errorf("Float(1/4) = %v", got)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct {
+		x, y *Rat
+		want int
+	}{
+		{FromInt(6), FromInt(3), 2},
+		{FromInt(7), FromInt(3), 3},
+		{New(5, 1), New(22, 5), 2}, // 5 / 4.4 → ceil(1.136) = 2
+		{New(44, 10), New(44, 10), 1},
+		{Zero(), FromInt(1), 0},
+		{New(1, 100), FromInt(1), 1},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.x, c.y); got != c.want {
+			t.Errorf("CeilDiv(%v, %v) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CeilDiv(FromInt(1), Zero())
+}
+
+func TestMediant(t *testing.T) {
+	// Mediant of 1/3 and 1/2 is 2/5.
+	if got := Mediant(New(1, 3), New(1, 2)); !Eq(got, New(2, 5)) {
+		t.Errorf("Mediant(1/3,1/2) = %v, want 2/5", got)
+	}
+}
+
+// TestQuickArithmeticConsistency property-tests the helpers against
+// big.Rat's own operations.
+func TestQuickArithmeticConsistency(t *testing.T) {
+	f := func(an, bn int32, ad, bd uint8) bool {
+		a := New(int64(an), int64(ad)+1)
+		b := New(int64(bn), int64(bd)+1)
+		want := new(big.Rat).Add(a, b)
+		if !Eq(Add(a, b), want) {
+			return false
+		}
+		// min + max partition
+		lo, hi := Min(a, b), Max(a, b)
+		return LessEq(lo, hi) && Eq(Add(lo, hi), Add(a, b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCeilDivBound: (CeilDiv-1)*y < x ≤ CeilDiv*y for positive x, y.
+func TestQuickCeilDivBound(t *testing.T) {
+	f := func(xn, yn uint16, xd, yd uint8) bool {
+		x := New(int64(xn), int64(xd)+1)
+		y := New(int64(yn)+1, int64(yd)+1)
+		c := CeilDiv(x, y)
+		upper := MulInt(y, int64(c))
+		if Less(upper, x) {
+			return false
+		}
+		if c > 0 {
+			lower := MulInt(y, int64(c-1))
+			if GreaterEq(lower, x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

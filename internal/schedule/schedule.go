@@ -1,0 +1,201 @@
+// Package schedule turns a broadcast-tree decomposition into a concrete
+// periodic transmission schedule — "which data should be sent on which
+// edge at a given time step" (§II-C of the paper).
+//
+// The stream is cut into B equal blocks per period. Tree k of weight w_k
+// is assigned ⌈/⌊ w_k/T · B ⌋/⌉ blocks (largest-remainder rounding so the
+// counts sum exactly to B), and every edge of tree k carries exactly
+// those blocks each period. The induced per-edge load is
+// (blocks on edge)/B · T, which converges to the scheme's exact rates as
+// B grows; Plan reports the worst relative edge overload so callers can
+// pick B against their tolerance.
+package schedule
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/trees"
+)
+
+// Transmission is one periodic assignment: every period, node From sends
+// Block (0-based, < Blocks) to node To.
+type Transmission struct {
+	From, To int
+	Block    int
+	Tree     int // index of the tree that routed this block
+}
+
+// Plan is a periodic broadcast schedule.
+type Plan struct {
+	Blocks        int
+	Transmissions []Transmission
+	// BlocksPerTree[k] is how many of the B blocks tree k carries.
+	BlocksPerTree []int
+	// MaxOverload is max over edges of (scheduled load − rate)/rate; the
+	// discretization error of the plan. Non-positive when every edge is
+	// within its scheme rate.
+	MaxOverload float64
+}
+
+// Build discretizes a decomposition of scheme s (throughput T) into a
+// B-block periodic plan.
+func Build(s *core.Scheme, T float64, ts []trees.Tree, blocks int) (*Plan, error) {
+	if blocks < len(ts) {
+		return nil, fmt.Errorf("schedule: %d blocks cannot cover %d trees (need ≥ 1 block per tree)", blocks, len(ts))
+	}
+	if len(ts) == 0 {
+		return nil, errors.New("schedule: empty decomposition")
+	}
+	if err := trees.Verify(s, T, ts); err != nil {
+		return nil, fmt.Errorf("schedule: decomposition invalid: %w", err)
+	}
+
+	counts := apportion(ts, T, blocks)
+	plan := &Plan{Blocks: blocks, BlocksPerTree: counts}
+
+	next := 0
+	total := s.Instance().Total()
+	type edgeKey struct{ from, to int }
+	load := make(map[edgeKey]int)
+	for k, tr := range ts {
+		for b := 0; b < counts[k]; b++ {
+			block := next
+			next++
+			for v := 1; v < total; v++ {
+				plan.Transmissions = append(plan.Transmissions, Transmission{
+					From: tr.Parent[v], To: v, Block: block, Tree: k,
+				})
+				load[edgeKey{tr.Parent[v], v}]++
+			}
+		}
+	}
+	sort.Slice(plan.Transmissions, func(i, j int) bool {
+		a, b := plan.Transmissions[i], plan.Transmissions[j]
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+
+	for k, cnt := range load {
+		rate := s.Rate(k.from, k.to)
+		if rate <= 0 {
+			return nil, fmt.Errorf("schedule: edge (%d,%d) scheduled but absent from the scheme", k.from, k.to)
+		}
+		scheduled := float64(cnt) / float64(blocks) * T
+		if over := (scheduled - rate) / rate; over > plan.MaxOverload {
+			plan.MaxOverload = over
+		}
+	}
+	return plan, nil
+}
+
+// apportion distributes blocks proportionally to tree weights with the
+// largest-remainder method, guaranteeing ≥ 1 block per tree (a tree with
+// zero blocks would silently drop its subtree's data share).
+func apportion(ts []trees.Tree, T float64, blocks int) []int {
+	n := len(ts)
+	counts := make([]int, n)
+	remainders := make([]float64, n)
+	assigned := 0
+	for k, tr := range ts {
+		exact := tr.Weight / T * float64(blocks)
+		counts[k] = int(exact)
+		if counts[k] < 1 {
+			counts[k] = 1
+		}
+		remainders[k] = exact - float64(int(exact))
+		assigned += counts[k]
+	}
+	// Adjust to hit the exact total: give leftovers to the largest
+	// remainders, or claw back from the smallest-remainder trees with
+	// more than one block.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return remainders[order[a]] > remainders[order[b]] })
+	for assigned < blocks {
+		for _, k := range order {
+			if assigned == blocks {
+				break
+			}
+			counts[k]++
+			assigned++
+		}
+	}
+	for assigned > blocks {
+		for i := n - 1; i >= 0 && assigned > blocks; i-- {
+			k := order[i]
+			if counts[k] > 1 {
+				counts[k]--
+				assigned--
+			}
+		}
+	}
+	return counts
+}
+
+// Verify checks the plan's correctness against the scheme: every
+// non-source node receives all B blocks each period, no node sends a
+// block it never receives (causality along each tree), and the reported
+// overload matches the actual loads.
+func Verify(s *core.Scheme, T float64, p *Plan) error {
+	total := s.Instance().Total()
+	received := make([][]bool, total)
+	for v := range received {
+		received[v] = make([]bool, p.Blocks)
+	}
+	for b := 0; b < p.Blocks; b++ {
+		received[0][b] = true // the source holds everything
+	}
+	// Causality: within one tree, a node's parent transmission precedes
+	// its own. Transmissions are grouped per (tree, block) and each such
+	// group forms an arborescence, so we can propagate from the source.
+	type tb struct{ tree, block int }
+	groups := make(map[tb][]Transmission)
+	for _, tx := range p.Transmissions {
+		groups[tb{tx.Tree, tx.Block}] = append(groups[tb{tx.Tree, tx.Block}], tx)
+	}
+	for key, txs := range groups {
+		parent := make(map[int]int, len(txs))
+		for _, tx := range txs {
+			if _, dup := parent[tx.To]; dup {
+				return fmt.Errorf("schedule: node %d receives block %d twice in tree %d", tx.To, key.block, key.tree)
+			}
+			parent[tx.To] = tx.From
+		}
+		for to := range parent {
+			v, steps := to, 0
+			for v != 0 {
+				p, ok := parent[v]
+				if !ok || steps > total {
+					return fmt.Errorf("schedule: block %d of tree %d does not reach node %d from the source", key.block, key.tree, to)
+				}
+				v = p
+				steps++
+			}
+			received[to][key.block] = true
+		}
+	}
+	for v := 1; v < total; v++ {
+		for b := 0; b < p.Blocks; b++ {
+			if !received[v][b] {
+				return fmt.Errorf("schedule: node %d never receives block %d", v, b)
+			}
+		}
+	}
+	return nil
+}
+
+// String summarizes the plan.
+func (p *Plan) String() string {
+	return fmt.Sprintf("schedule.Plan{blocks=%d, transmissions/period=%d, trees=%d, maxOverload=%.4f}",
+		p.Blocks, len(p.Transmissions), len(p.BlocksPerTree), p.MaxOverload)
+}

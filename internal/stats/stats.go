@@ -1,0 +1,137 @@
+// Package stats provides the small set of summary statistics the
+// experiment harness needs to report Figure-19-style boxplots as text:
+// mean, standard deviation, median, quartiles and the 5% confidence
+// band (2.5%/97.5% quantiles) used by the paper's plots.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 values.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	P025   float64 // 2.5% quantile (lower end of the 5% confidence band)
+	Q1     float64 // 25% quantile
+	Median float64
+	Q3     float64 // 75% quantile
+	P975   float64 // 97.5% quantile
+	Max    float64
+	// Outliers counts points outside [P025, P975], matching the black
+	// dots on the paper's boxplots.
+	Outliers int
+}
+
+// Summarize computes a Summary. It panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum, sumsq := 0.0, 0.0
+	for _, v := range s {
+		sum += v
+		sumsq += v * v
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := math.Max(0, sumsq/n-mean*mean)
+	out := Summary{
+		N:      len(s),
+		Mean:   mean,
+		StdDev: math.Sqrt(variance),
+		Min:    s[0],
+		P025:   quantileSorted(s, 0.025),
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+		P975:   quantileSorted(s, 0.975),
+		Max:    s[len(s)-1],
+	}
+	for _, v := range s {
+		if v < out.P025 || v > out.P975 {
+			out.Outliers++
+		}
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs with linear
+// interpolation between order statistics.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean. It panics on an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// Min returns the smallest value. It panics on an empty sample.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest value. It panics on an empty sample.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// String renders the summary in one line for experiment logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f sd=%.4f min=%.4f p2.5=%.4f q1=%.4f med=%.4f q3=%.4f p97.5=%.4f max=%.4f outliers=%d",
+		s.N, s.Mean, s.StdDev, s.Min, s.P025, s.Q1, s.Median, s.Q3, s.P975, s.Max, s.Outliers)
+}

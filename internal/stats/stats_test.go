@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownSample(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	s := Summarize(xs)
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("sd = %v, want sqrt(2)", s.StdDev)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Fatalf("quartiles: %v %v", s.Q1, s.Q3)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{0, 10}
+	if q := Quantile(xs, 0.5); q != 5 {
+		t.Fatalf("median of {0,10} = %v, want 5", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2.5 {
+		t.Fatalf("q25 = %v, want 2.5", q)
+	}
+	if q := Quantile([]float64{7}, 0.99); q != 7 {
+		t.Fatalf("singleton quantile = %v", q)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, 1.5) },
+		func() { Summarize(nil) },
+		func() { Mean(nil) },
+		func() { Min(nil) },
+		func() { Max(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMinMaxMean(t *testing.T) {
+	xs := []float64{3, -1, 4, 1.5}
+	if Min(xs) != -1 || Max(xs) != 4 {
+		t.Fatal("min/max wrong")
+	}
+	if math.Abs(Mean(xs)-1.875) > 1e-12 {
+		t.Fatalf("mean = %v", Mean(xs))
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Summarize(xs)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestOutliersCount(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 1
+	}
+	xs[0] = 100  // extreme high
+	xs[1] = -100 // extreme low
+	s := Summarize(xs)
+	if s.Outliers != 2 {
+		t.Fatalf("outliers = %d, want 2", s.Outliers)
+	}
+}
+
+// TestQuickSummaryInvariants: ordering of the summary statistics holds
+// for arbitrary samples.
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		s := Summarize(xs)
+		ordered := []float64{s.Min, s.P025, s.Q1, s.Median, s.Q3, s.P975, s.Max}
+		if !sort.Float64sAreSorted(ordered) {
+			return false
+		}
+		return s.Mean >= s.Min-1e-12 && s.Mean <= s.Max+1e-12 && s.StdDev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if got := s.String(); len(got) == 0 {
+		t.Fatal("empty String()")
+	}
+}

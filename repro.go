@@ -1,0 +1,273 @@
+package repro
+
+import (
+	"math/big"
+	"math/rand"
+
+	"repro/internal/bedibe"
+	"repro/internal/core"
+	"repro/internal/distribution"
+	"repro/internal/generator"
+	"repro/internal/massoulie"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/trees"
+)
+
+// ---------------------------------------------------------------------------
+// Platform model
+
+// Instance is a broadcast problem instance: a source bandwidth plus the
+// open and guarded nodes' outgoing bandwidths (LastMile model, §II-D).
+type Instance = platform.Instance
+
+// Kind classifies node connectivity (Open vs Guarded).
+type Kind = platform.Kind
+
+// Node kinds.
+const (
+	Open    = platform.Open
+	Guarded = platform.Guarded
+)
+
+// NewInstance builds an instance; bandwidth slices are copied and sorted
+// non-increasing (the normal form all algorithms assume).
+func NewInstance(b0 float64, open, guarded []float64) (*Instance, error) {
+	return platform.NewInstance(b0, open, guarded)
+}
+
+// MustInstance is NewInstance that panics on error.
+func MustInstance(b0 float64, open, guarded []float64) *Instance {
+	return platform.MustInstance(b0, open, guarded)
+}
+
+// ---------------------------------------------------------------------------
+// Schemes and throughput bounds
+
+// Scheme is a broadcast scheme: the rate matrix {c_ij} with bandwidth and
+// firewall validation, max-flow throughput and degree accounting.
+type Scheme = core.Scheme
+
+// Word encodes an increasing node order (○ = next open, ■ = next guarded).
+type Word = core.Word
+
+// NewScheme returns an empty scheme for the instance.
+func NewScheme(ins *Instance) *Scheme { return core.NewScheme(ins) }
+
+// ParseWord parses "o"/"g" (or ○/■) strings into a Word.
+func ParseWord(s string) (Word, error) { return core.ParseWord(s) }
+
+// OptimalCyclicThroughput is the closed-form optimal cyclic throughput
+// T* = min(b0, (b0+O)/m, (b0+O+G)/(n+m)) of Lemma 5.1.
+func OptimalCyclicThroughput(ins *Instance) float64 {
+	return core.OptimalCyclicThroughput(ins)
+}
+
+// AcyclicOpenOptimalThroughput is the open-only closed form
+// min(b0, S_{n-1}/n) of Section III-B.
+func AcyclicOpenOptimalThroughput(ins *Instance) float64 {
+	return core.AcyclicOpenOptimalThroughput(ins)
+}
+
+// OptimalAcyclicThroughput computes T*_ac by dichotomic search over
+// GreedyTest (Theorem 4.1) and returns a witness word.
+func OptimalAcyclicThroughput(ins *Instance) (float64, Word, error) {
+	return core.OptimalAcyclicThroughput(ins)
+}
+
+// OptimalAcyclicThroughputExact is OptimalAcyclicThroughput with an
+// exact-rational refinement of the winning word's throughput.
+func OptimalAcyclicThroughputExact(ins *Instance) (*big.Rat, Word, error) {
+	return core.OptimalAcyclicThroughputExact(ins)
+}
+
+// FeasibleAcyclic decides in linear time whether throughput T is
+// acyclically achievable (Algorithm 2).
+func FeasibleAcyclic(ins *Instance, T float64) bool { return core.FeasibleAcyclic(ins, T) }
+
+// GreedyTest runs Algorithm 2: it returns a valid encoding word for
+// throughput T, or ok = false when T > T*_ac.
+func GreedyTest(ins *Instance, T float64) (Word, bool) { return core.GreedyTest(ins, T) }
+
+// WordThroughput returns T*_ac(w), the optimal acyclic throughput among
+// schemes compatible with the order encoded by w.
+func WordThroughput(ins *Instance, w Word) float64 { return core.WordThroughput(ins, w) }
+
+// DegreeLowerBound returns ⌈b/T⌉, the outdegree floor of a node that
+// uses its full bandwidth at throughput T.
+func DegreeLowerBound(b, T float64) int { return core.DegreeLowerBound(b, T) }
+
+// WorstCaseRatio is the tight acyclic/cyclic bound 5/7 (Theorem 6.2).
+const WorstCaseRatio = core.WorstCaseRatio
+
+// ---------------------------------------------------------------------------
+// Constructors
+
+// AcyclicOpen builds the Algorithm 1 scheme (open-only, optimal acyclic,
+// outdegree ≤ ⌈b_i/T⌉+1).
+func AcyclicOpen(ins *Instance, T float64) (*Scheme, error) { return core.AcyclicOpen(ins, T) }
+
+// BuildScheme materializes the low-degree scheme of Lemma 4.6 from an
+// encoding word at throughput T.
+func BuildScheme(ins *Instance, w Word, T float64) (*Scheme, error) {
+	return core.BuildScheme(ins, w, T)
+}
+
+// SolveAcyclic runs the full acyclic pipeline: dichotomic search for
+// T*_ac, then the low-degree construction.
+func SolveAcyclic(ins *Instance) (float64, *Scheme, error) { return core.SolveAcyclic(ins) }
+
+// CyclicOpen builds the Theorem 5.2 cyclic scheme for open-only
+// instances at throughput T ≤ min(b0, (b0+O)/n), with outdegree
+// ≤ max(⌈b_i/T⌉+2, 4).
+func CyclicOpen(ins *Instance, T float64) (*Scheme, error) { return core.CyclicOpen(ins, T) }
+
+// SolveCyclicOpen builds the optimal cyclic scheme for an open-only
+// instance.
+func SolveCyclicOpen(ins *Instance) (float64, *Scheme, error) { return core.SolveCyclicOpen(ins) }
+
+// PackCyclicGuarded constructs a cyclic scheme approaching the Lemma 5.1
+// optimum on general open+guarded instances by acyclic-layer packing
+// (degrees may grow unboundedly, as Section V proves they must). The
+// returned rate is certified by construction; it matches T within 1e-6
+// relative on every tested instance family.
+func PackCyclicGuarded(ins *Instance, T float64) (*Scheme, float64, error) {
+	return core.PackCyclicGuarded(ins, T)
+}
+
+// Omega1 and Omega2 are the canonical interleavings of Theorem 6.2's
+// constructive proof.
+func Omega1(n, m int) (Word, error) { return core.Omega1(n, m) }
+
+// Omega2 is ω2(n,m); see Omega1.
+func Omega2(n, m int) (Word, error) { return core.Omega2(n, m) }
+
+// BestCanonicalThroughput evaluates max(T*_ac(ω1), T*_ac(ω2)).
+func BestCanonicalThroughput(ins *Instance) (float64, Word, error) {
+	return core.BestCanonicalThroughput(ins)
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast trees and streaming simulation
+
+// Tree is one weighted broadcast tree of a decomposition.
+type Tree = trees.Tree
+
+// DecomposeTrees splits an acyclic scheme of throughput T into weighted
+// spanning arborescences rooted at the source (Σ weights = T).
+func DecomposeTrees(s *Scheme, T float64) ([]Tree, error) { return trees.Decompose(s, T) }
+
+// VerifyTrees checks a decomposition against its scheme.
+func VerifyTrees(s *Scheme, T float64, ts []Tree) error { return trees.Verify(s, T, ts) }
+
+// SimConfig parameterizes the randomized-broadcast simulation.
+type SimConfig = massoulie.Config
+
+// SimResult reports a simulation run.
+type SimResult = massoulie.Result
+
+// Simulate plays Massoulié-style random-useful-packet broadcast on the
+// scheme's overlay at nominal throughput T.
+func Simulate(s *Scheme, T float64, cfg SimConfig) (*SimResult, error) {
+	return massoulie.Simulate(s, T, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Generators and distributions (the paper's experimental workloads)
+
+// Distribution is a bandwidth sampler (Appendix XII scenarios).
+type Distribution = distribution.Distribution
+
+// The six distributions of the paper's average-case study.
+var (
+	Unif100   = distribution.Unif100
+	Power1    = distribution.Power1
+	Power2    = distribution.Power2
+	LN1       = distribution.LN1
+	LN2       = distribution.LN2
+	PlanetLab = distribution.PlanetLab
+)
+
+// RandomInstance draws a random tight instance in the style of Appendix
+// XII: total receiver nodes, each open with probability pOpen, and the
+// source bandwidth set so T* = b0.
+func RandomInstance(dist Distribution, total int, pOpen float64, rng *rand.Rand) (*Instance, error) {
+	return generator.Random(dist, total, pOpen, rng)
+}
+
+// TightHomogeneous builds the Section VI-A worst-case family instance.
+func TightHomogeneous(n, m int, delta float64) (*Instance, error) {
+	return generator.TightHomogeneous(n, m, delta)
+}
+
+// Figure1Instance is the paper's running example (T* = 4.4, T*_ac = 4).
+func Figure1Instance() *Instance { return generator.Figure1() }
+
+// ---------------------------------------------------------------------------
+// Extensions: depth optimization, one-port baseline, periodic schedules,
+// LastMile parameter estimation
+
+// BuildSchemeDepthAware is BuildScheme with per-draw depth minimization
+// (the paper's future-work delay objective); same feasibility, shallower
+// trees, weaker degree guarantees.
+func BuildSchemeDepthAware(ins *Instance, w Word, T float64) (*Scheme, error) {
+	return core.BuildSchemeDepthAware(ins, w, T)
+}
+
+// SchemeDepth is the longest source-to-leaf hop count of an acyclic
+// scheme (−1 when cyclic).
+func SchemeDepth(s *Scheme) int { return core.SchemeDepth(s) }
+
+// OnePortChainThroughput is the degree-1 pipeline baseline the bounded
+// multi-port model is motivated against (open-only instances).
+func OnePortChainThroughput(ins *Instance) (float64, error) {
+	return core.OnePortChainThroughput(ins)
+}
+
+// Plan is a periodic block-transmission schedule derived from a tree
+// decomposition.
+type Plan = schedule.Plan
+
+// BuildSchedule discretizes a tree decomposition into a B-block periodic
+// transmission plan ("which data on which edge at which time step").
+func BuildSchedule(s *Scheme, T float64, ts []Tree, blocks int) (*Plan, error) {
+	return schedule.Build(s, T, ts, blocks)
+}
+
+// VerifySchedule checks a plan delivers every block to every node.
+func VerifySchedule(s *Scheme, T float64, p *Plan) error { return schedule.Verify(s, T, p) }
+
+// Measurements is a pairwise bandwidth measurement campaign (Bedibe-style
+// model instantiation input; bedibe.Missing marks unobserved pairs).
+type Measurements = bedibe.Measurements
+
+// LastMileParams are fitted per-node in/out capacities.
+type LastMileParams = bedibe.LastMileParams
+
+// NewMeasurements validates a measurement matrix.
+func NewMeasurements(bw [][]float64) (*Measurements, error) { return bedibe.NewMeasurements(bw) }
+
+// FitLastMile estimates LastMile parameters from measurements by robust
+// coordinate descent, standing in for the paper's Bedibe toolbox.
+func FitLastMile(m *Measurements, rounds int) (*LastMileParams, error) {
+	return bedibe.FitLastMile(m, rounds)
+}
+
+// InstanceFromEstimate assembles a broadcast instance from fitted
+// parameters: node 0 becomes the source, nodes whose index appears in
+// guarded become guarded. This closes the paper's §II-C pipeline:
+// measurements → LastMile parameters → overlay construction.
+func InstanceFromEstimate(p *LastMileParams, source int, guarded map[int]bool) (*Instance, error) {
+	var open, guard []float64
+	for i, out := range p.Out {
+		if i == source {
+			continue
+		}
+		if guarded[i] {
+			guard = append(guard, out)
+		} else {
+			open = append(open, out)
+		}
+	}
+	return platform.NewInstance(p.Out[source], open, guard)
+}

@@ -1,0 +1,148 @@
+package repro_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro"
+)
+
+// TestFacadeEndToEnd drives the complete public API surface on the
+// Figure 1 instance: bounds, search, construction, validation, tree
+// decomposition and streaming simulation.
+func TestFacadeEndToEnd(t *testing.T) {
+	ins := repro.Figure1Instance()
+	if got := repro.OptimalCyclicThroughput(ins); math.Abs(got-4.4) > 1e-9 {
+		t.Fatalf("T* = %v, want 4.4", got)
+	}
+	T, word, err := repro.OptimalAcyclicThroughput(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(T-4) > 1e-9 {
+		t.Fatalf("T*_ac = %v, want 4", T)
+	}
+	if !repro.FeasibleAcyclic(ins, 4) || repro.FeasibleAcyclic(ins, 4.01) {
+		t.Fatal("FeasibleAcyclic boundary wrong")
+	}
+	scheme, err := repro.BuildScheme(ins, word, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scheme.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Max-flow verification uses an Eps-guarded Dinic, so allow float
+	// slack proportional to the path count.
+	if thr := scheme.Throughput(); math.Abs(thr-4) > 1e-6 {
+		t.Fatalf("scheme throughput %v", thr)
+	}
+	ts, err := repro.DecomposeTrees(scheme, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repro.VerifyTrees(scheme, T, ts); err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.Simulate(scheme, T, repro.SimConfig{Packets: 120, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("simulation incomplete: %v", res)
+	}
+}
+
+// TestFacadeExactRefinement: the exact variant returns exactly 4 on the
+// Figure 1 instance.
+func TestFacadeExactRefinement(t *testing.T) {
+	exact, _, err := repro.OptimalAcyclicThroughputExact(repro.Figure1Instance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := exact.Float64(); f != 4 {
+		t.Fatalf("exact T*_ac = %v, want 4", exact)
+	}
+}
+
+// TestFacadeWords: ParseWord, Omega constructors, WordThroughput.
+func TestFacadeWords(t *testing.T) {
+	ins := repro.Figure1Instance()
+	w, err := repro.ParseWord("gogog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tw := repro.WordThroughput(ins, w); tw <= 0 || tw > 4+1e-9 {
+		t.Fatalf("word throughput %v outside (0, 4]", tw)
+	}
+	w1, err := repro.Omega1(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := repro.Omega2(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.CountOpen() != 2 || w1.CountGuarded() != 3 || w2.CountOpen() != 2 || w2.CountGuarded() != 3 {
+		t.Fatal("omega letter counts wrong")
+	}
+	best, _, err := repro.BestCanonicalThroughput(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best <= 0 || best > 4+1e-9 {
+		t.Fatalf("best canonical %v", best)
+	}
+}
+
+// TestFacadeCyclicOpen: end-to-end cyclic pipeline on an open platform.
+func TestFacadeCyclicOpen(t *testing.T) {
+	ins := repro.MustInstance(5, []float64{5, 4, 4, 4, 3}, nil)
+	T, s, err := repro.SolveCyclicOpen(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(T-5) > 1e-9 {
+		t.Fatalf("T = %v", T)
+	}
+	if thr := s.Throughput(); math.Abs(thr-5) > 1e-9 {
+		t.Fatalf("throughput %v", thr)
+	}
+	a, err := repro.AcyclicOpen(ins, repro.AcyclicOpenOptimalThroughput(ins))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsAcyclic() {
+		t.Fatal("Algorithm 1 scheme not acyclic")
+	}
+}
+
+// TestFacadeGenerators: random tight instances through the facade.
+func TestFacadeGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dist := range []repro.Distribution{repro.Unif100(), repro.Power1(), repro.LN2(), repro.PlanetLab()} {
+		ins, err := repro.RandomInstance(dist, 30, 0.6, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tstar := repro.OptimalCyclicThroughput(ins)
+		if math.Abs(tstar-ins.B0) > 1e-9*(1+tstar) {
+			t.Fatalf("%s: instance not tight: T*=%v, b0=%v", dist.Name(), tstar, ins.B0)
+		}
+	}
+	th, err := repro.TightHomogeneous(5, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := repro.OptimalCyclicThroughput(th); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("tight homogeneous T* = %v", got)
+	}
+}
+
+// TestFacadeWorstCaseRatioConstant pins the exported constant.
+func TestFacadeWorstCaseRatioConstant(t *testing.T) {
+	if math.Abs(repro.WorstCaseRatio-5.0/7.0) > 1e-15 {
+		t.Fatalf("WorstCaseRatio = %v", repro.WorstCaseRatio)
+	}
+}
