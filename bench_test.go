@@ -22,6 +22,7 @@
 package repro_test
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -135,6 +136,38 @@ func BenchmarkTheorem63Family(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkBatchSweep measures the engine's parallel batch runner on a
+// 256-instance sweep (n=30 random tight instances, acyclic dichotomic
+// search per instance), the building block of the Figure 7/19 drivers
+// and `bmpcast sweep`. The serial variant is the reference its
+// deterministic ordering is validated against.
+func BenchmarkBatchSweep(b *testing.B) {
+	rng := rand.New(rand.NewSource(2014))
+	instances := make([]*repro.Instance, 256)
+	for i := range instances {
+		var err error
+		instances[i], err = repro.RandomInstance(distribution.Unif100(), 30, 0.7, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := repro.SolveBatch(ctx, "acyclic-search", instances, repro.BatchOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := repro.SolveBatch(ctx, "acyclic-search", instances, repro.BatchOptions{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // ---------------------------------------------------------------------------

@@ -1,9 +1,18 @@
 // Command bmpcast is the general-purpose CLI of the bounded multi-port
 // broadcast library. Subcommands:
 //
-//	bmpcast solve   -file inst.json [-cyclic] [-verbose]
-//	    Compute T*, T*_ac and the low-degree overlay for an instance
+//	bmpcast solve   -file inst.json [-solver acyclic] [-cyclic] [-verbose]
+//	    Compute T*, the chosen solver's throughput and its low-degree
+//	    overlay for an instance
 //	    (JSON: {"b0": 6, "open": [5,5], "guarded": [4,1,1]}).
+//
+//	bmpcast solvers
+//	    List the engine registry: every algorithm name with its
+//	    capability set.
+//
+//	bmpcast sweep   -dist Unif100 -n 50 -p 0.7 -count 1000 [-solver acyclic-search] [-seed 1] [-workers 0]
+//	    Draw random tight instances and solve them all on the parallel
+//	    batch runner, reporting throughput-ratio and latency statistics.
 //
 //	bmpcast generate -dist Unif100 -n 50 -p 0.7 [-seed 1]
 //	    Draw a random tight instance and print it as JSON.
@@ -17,52 +26,68 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
-	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/distribution"
+	"repro/internal/engine"
 	"repro/internal/generator"
 	"repro/internal/massoulie"
 	"repro/internal/platform"
+	"repro/internal/stats"
 	"repro/internal/trees"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	var err error
-	switch os.Args[1] {
-	case "solve":
-		err = cmdSolve(os.Args[2:])
-	case "generate":
-		err = cmdGenerate(os.Args[2:])
-	case "simulate":
-		err = cmdSimulate(os.Args[2:])
-	case "demo":
-		err = cmdDemo(os.Args[2:])
-	case "-h", "--help", "help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "bmpcast: unknown subcommand %q\n", os.Args[1])
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bmpcast:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bmpcast <solve|generate|simulate|demo> [flags]
-  solve    -file inst.json [-cyclic] [-verbose]
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "solve":
+		err = cmdSolve(args[1:], stdout)
+	case "solvers":
+		err = cmdSolvers(stdout)
+	case "sweep":
+		err = cmdSweep(args[1:], stdout)
+	case "generate":
+		err = cmdGenerate(args[1:], stdout)
+	case "simulate":
+		err = cmdSimulate(args[1:], stdout)
+	case "demo":
+		err = cmdDemo(args[1:], stdout)
+	case "-h", "--help", "help":
+		usage(stderr)
+	default:
+		fmt.Fprintf(stderr, "bmpcast: unknown subcommand %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "bmpcast:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: bmpcast <solve|solvers|sweep|generate|simulate|demo> [flags]
+  solve    -file inst.json [-solver acyclic] [-cyclic] [-verbose]
+  solvers
+  sweep    -dist <Unif100|Power1|Power2|LN1|LN2|PLab> -n <nodes> -p <openprob> -count <instances> [-solver acyclic-search] [-seed N] [-workers N]
   generate -dist <Unif100|Power1|Power2|LN1|LN2|PLab> -n <nodes> -p <openprob> [-seed N]
   simulate -file inst.json [-packets 300] [-seed 1]
   demo     fig1|fig6|57|sqrt41`)
@@ -80,10 +105,20 @@ func loadInstance(path string) (*platform.Instance, error) {
 	return &ins, nil
 }
 
-func cmdSolve(args []string) error {
+func lookupDist(name string) (distribution.Distribution, error) {
+	for _, d := range distribution.All() {
+		if d.Name() == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown distribution %q", name)
+}
+
+func cmdSolve(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("solve", flag.ExitOnError)
 	file := fs.String("file", "", "instance JSON file (required)")
-	cyclic := fs.Bool("cyclic", false, "also build the Theorem 5.2 cyclic scheme (open-only instances)")
+	solverName := fs.String("solver", "acyclic", "engine solver (see `bmpcast solvers`)")
+	cyclic := fs.Bool("cyclic", false, "also build the optimal cyclic scheme")
 	verbose := fs.Bool("verbose", false, "print the full edge list and a tree decomposition")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,33 +130,39 @@ func cmdSolve(args []string) error {
 	if err != nil {
 		return err
 	}
-	return solve(os.Stdout, ins, *cyclic, *verbose)
+	return solve(stdout, ins, *solverName, *cyclic, *verbose)
 }
 
-func solve(out *os.File, ins *platform.Instance, cyclic, verbose bool) error {
+func solve(out io.Writer, ins *platform.Instance, solverName string, cyclic, verbose bool) error {
+	solver, err := engine.Get(solverName)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
 	fmt.Fprintf(out, "instance: %v\n", ins)
 	tstar := core.OptimalCyclicThroughput(ins)
 	fmt.Fprintf(out, "optimal cyclic throughput  T*    = %.6f  (Lemma 5.1)\n", tstar)
-	tac, word, err := core.OptimalAcyclicThroughput(ins)
+	res, err := solver.Solve(ctx, ins)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "optimal acyclic throughput T*_ac = %.6f  (ratio %.4f, word %s)\n", tac, tac/tstar, word)
-	scheme, err := core.BuildScheme(ins, word, tac)
-	if err != nil {
-		scheme, err = core.BuildScheme(ins, word, tac*(1-1e-12))
-		if err != nil {
+	fmt.Fprintf(out, "solver %-14s T = %.6f  (ratio %.4f", res.Solver, res.Throughput, res.Throughput/tstar)
+	if len(res.Word) > 0 {
+		fmt.Fprintf(out, ", word %s", res.Word)
+	}
+	fmt.Fprintf(out, ")\n")
+	if res.Scheme != nil {
+		if err := res.Scheme.Validate(); err != nil {
 			return err
 		}
-	}
-	if err := scheme.Validate(); err != nil {
-		return err
-	}
-	printDegrees(out, ins, scheme, tac)
-	if verbose {
-		printEdges(out, scheme)
-		if ts, err := trees.Decompose(scheme, tac); err == nil {
-			fmt.Fprintf(out, "broadcast-tree decomposition: %d trees, max depth %d\n", len(ts), maxDepth(ts))
+		printDegrees(out, ins, res.Scheme, res.Throughput)
+		if verbose {
+			printEdges(out, res.Scheme)
+			if res.Scheme.IsAcyclic() {
+				if ts, err := trees.Decompose(res.Scheme, res.Throughput); err == nil {
+					fmt.Fprintf(out, "broadcast-tree decomposition: %d trees, max depth %d\n", len(ts), maxDepth(ts))
+				}
+			}
 		}
 	}
 	if cyclic {
@@ -145,6 +186,68 @@ func solve(out *os.File, ins *platform.Instance, cyclic, verbose bool) error {
 	return nil
 }
 
+func cmdSolvers(stdout io.Writer) error {
+	fmt.Fprintf(stdout, "%-16s %s\n", "solver", "capabilities")
+	for _, s := range engine.Select(0) {
+		fmt.Fprintf(stdout, "%-16s %s\n", s.Name(), s.Capabilities())
+	}
+	return nil
+}
+
+func cmdSweep(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	distName := fs.String("dist", "Unif100", "bandwidth distribution")
+	n := fs.Int("n", 50, "receiver nodes per instance")
+	p := fs.Float64("p", 0.7, "probability a node is open")
+	count := fs.Int("count", 1000, "number of random instances")
+	solverName := fs.String("solver", "acyclic-search", "engine solver (see `bmpcast solvers`)")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dist, err := lookupDist(*distName)
+	if err != nil {
+		return err
+	}
+	if *count < 1 {
+		return fmt.Errorf("sweep: -count must be ≥ 1")
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	instances := make([]*platform.Instance, *count)
+	for i := range instances {
+		if instances[i], err = generator.Random(dist, *n, *p, rng); err != nil {
+			return err
+		}
+	}
+	start := time.Now()
+	results, err := engine.BatchByName(context.Background(), *solverName, instances, engine.BatchOptions{Workers: *workers})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	ratios := make([]float64, len(results))
+	walls := make([]float64, len(results))
+	for i, r := range results {
+		// Instances are tight (T* = b0), so the ratio to the cyclic
+		// optimum is throughput/b0.
+		ratios[i] = r.Throughput / instances[i].B0
+		walls[i] = r.Wall.Seconds() * 1e3
+	}
+	rs := stats.Summarize(ratios)
+	ws := stats.Summarize(walls)
+	fmt.Fprintf(stdout, "sweep: %d × (%s, n=%d, p=%.2f) via %s, seed %d\n",
+		*count, dist.Name(), *n, *p, *solverName, *seed)
+	fmt.Fprintf(stdout, "throughput/T*: mean %.4f median %.4f p2.5 %.4f min %.4f\n",
+		rs.Mean, rs.Median, rs.P025, rs.Min)
+	fmt.Fprintf(stdout, "per-instance solve: mean %.3fms median %.3fms max %.3fms\n",
+		ws.Mean, ws.Median, ws.Max)
+	fmt.Fprintf(stdout, "wall total %.3fs (%.0f instances/s)\n",
+		elapsed.Seconds(), float64(*count)/elapsed.Seconds())
+	return nil
+}
+
 func maxDepth(ts []trees.Tree) int {
 	d := 0
 	for i := range ts {
@@ -155,7 +258,7 @@ func maxDepth(ts []trees.Tree) int {
 	return d
 }
 
-func printDegrees(out *os.File, ins *platform.Instance, s *core.Scheme, T float64) {
+func printDegrees(out io.Writer, ins *platform.Instance, s *core.Scheme, T float64) {
 	slack, maxSlack := s.DegreeSlack(T)
 	fmt.Fprintf(out, "max outdegree %d; degree slack over ⌈b_i/T⌉: max %+d\n", s.MaxOutDegree(), maxSlack)
 	if ins.Total() <= 12 {
@@ -167,21 +270,15 @@ func printDegrees(out *os.File, ins *platform.Instance, s *core.Scheme, T float6
 	}
 }
 
-func printEdges(out *os.File, s *core.Scheme) {
+func printEdges(out io.Writer, s *core.Scheme) {
 	edges := s.Edges()
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].From != edges[j].From {
-			return edges[i].From < edges[j].From
-		}
-		return edges[i].To < edges[j].To
-	})
 	fmt.Fprintf(out, "edges (%d):\n", len(edges))
 	for _, e := range edges {
 		fmt.Fprintf(out, "  C%d -> C%d : %.4f\n", e.From, e.To, e.Weight)
 	}
 }
 
-func cmdGenerate(args []string) error {
+func cmdGenerate(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("generate", flag.ExitOnError)
 	distName := fs.String("dist", "Unif100", "bandwidth distribution")
 	n := fs.Int("n", 50, "number of receiver nodes")
@@ -190,14 +287,9 @@ func cmdGenerate(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var dist distribution.Distribution
-	for _, d := range distribution.All() {
-		if d.Name() == *distName {
-			dist = d
-		}
-	}
-	if dist == nil {
-		return fmt.Errorf("generate: unknown distribution %q", *distName)
+	dist, err := lookupDist(*distName)
+	if err != nil {
+		return err
 	}
 	ins, err := generator.Random(dist, *n, *p, rand.New(rand.NewSource(*seed)))
 	if err != nil {
@@ -207,11 +299,11 @@ func cmdGenerate(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println(string(data))
+	fmt.Fprintln(stdout, string(data))
 	return nil
 }
 
-func cmdSimulate(args []string) error {
+func cmdSimulate(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	file := fs.String("file", "", "instance JSON file (required)")
 	packets := fs.Int("packets", 300, "stream packets to broadcast")
@@ -230,17 +322,17 @@ func cmdSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("overlay built: T*_ac = %.6f, %d edges, max degree %d\n", T, scheme.NumEdges(), scheme.MaxOutDegree())
+	fmt.Fprintf(stdout, "overlay built: T*_ac = %.6f, %d edges, max degree %d\n", T, scheme.NumEdges(), scheme.MaxOutDegree())
 	res, err := massoulie.Simulate(scheme, T, massoulie.Config{Packets: *packets, Seed: *seed})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("simulation: %d rounds, completed=%v\n", res.Rounds, res.Completed)
-	fmt.Printf("min per-node goodput: %.4f of T (1.0 = nominal rate)\n", res.MinGoodput())
+	fmt.Fprintf(stdout, "simulation: %d rounds, completed=%v\n", res.Rounds, res.Completed)
+	fmt.Fprintf(stdout, "min per-node goodput: %.4f of T (1.0 = nominal rate)\n", res.MinGoodput())
 	return nil
 }
 
-func cmdDemo(args []string) error {
+func cmdDemo(args []string, stdout io.Writer) error {
 	if len(args) != 1 {
 		return fmt.Errorf("demo: expected one of fig1|fig6|57|sqrt41")
 	}
@@ -261,5 +353,5 @@ func cmdDemo(args []string) error {
 	if err != nil {
 		return err
 	}
-	return solve(os.Stdout, ins, true, true)
+	return solve(stdout, ins, "acyclic", true, true)
 }

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFigure1 drops the paper's running example as a JSON instance
+// file and returns its path.
+func writeFigure1(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fig1.json")
+	data := `{"b0": 6, "open": [5, 5], "guarded": [4, 1, 1]}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestSolveDefaultSolver(t *testing.T) {
+	file := writeFigure1(t)
+	out, errOut, code := runCLI(t, "solve", "-file", file)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"T*    = 4.400000", "solver acyclic", "T = 4.000000", "max outdegree"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("solve output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSolveWithRegistrySolver(t *testing.T) {
+	file := writeFigure1(t)
+	out, errOut, code := runCLI(t, "solve", "-file", file, "-solver", "greedy")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "solver greedy") {
+		t.Errorf("expected greedy solver line:\n%s", out)
+	}
+}
+
+func TestSolveUnknownSolverFails(t *testing.T) {
+	file := writeFigure1(t)
+	_, errOut, code := runCLI(t, "solve", "-file", file, "-solver", "nope")
+	if code != 1 || !strings.Contains(errOut, "unknown solver") {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+}
+
+func TestSolversListsRegistry(t *testing.T) {
+	out, _, code := runCLI(t, "solvers")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"acyclic", "cyclic-bound", "exhaustive", "handles-guarded", "exact"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("solvers output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepSmall(t *testing.T) {
+	out, errOut, code := runCLI(t, "sweep", "-count", "20", "-n", "12", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"sweep: 20 ×", "throughput/T*", "instances/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateEmitsJSON(t *testing.T) {
+	out, errOut, code := runCLI(t, "generate", "-n", "10", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, `"b0"`) || !strings.Contains(out, `"open"`) {
+		t.Errorf("generate output not an instance JSON:\n%s", out)
+	}
+}
+
+func TestDemoFig1(t *testing.T) {
+	out, errOut, code := runCLI(t, "demo", "fig1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "cyclic scheme at T = 4.400000") {
+		t.Errorf("demo output missing cyclic section:\n%s", out)
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	_, errOut, code := runCLI(t, "frobnicate")
+	if code != 2 || !strings.Contains(errOut, "unknown subcommand") {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+}

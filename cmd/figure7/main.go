@@ -1,6 +1,7 @@
 // Command figure7 regenerates the Figure 7 surface: the worst-case ratio
 // between the optimal acyclic and optimal cyclic throughput on tight
-// homogeneous instances, for n and m up to 100.
+// homogeneous instances, for n and m up to 100. The grid is solved on
+// the engine's parallel batch runner.
 //
 // Output is CSV (n,m,ratio) on stdout plus a short summary on stderr.
 //
@@ -10,26 +11,41 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/experiments"
 )
 
 func main() {
-	maxN := flag.Int("maxn", 100, "largest number of open nodes")
-	maxM := flag.Int("maxm", 100, "largest number of guarded nodes")
-	stride := flag.Int("stride", 1, "grid stride")
-	deltas := flag.Int("deltas", 11, "Δ samples per cell (tight homogeneous family parameter)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	cells, err := experiments.Figure7(*maxN, *maxM, *stride, *deltas)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "figure7:", err)
-		os.Exit(1)
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("figure7", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	maxN := fs.Int("maxn", 100, "largest number of open nodes")
+	maxM := fs.Int("maxm", 100, "largest number of guarded nodes")
+	stride := fs.Int("stride", 1, "grid stride")
+	deltas := fs.Int("deltas", 11, "Δ samples per cell (tight homogeneous family parameter)")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	fmt.Print(experiments.Figure7CSV(cells))
+
+	cells, err := experiments.Figure7Ctx(context.Background(), *maxN, *maxM, *stride, *deltas)
+	if err != nil {
+		fmt.Fprintln(stderr, "figure7:", err)
+		return 1
+	}
+	if len(cells) == 0 {
+		fmt.Fprintf(stderr, "figure7: empty grid (maxn=%d, maxm=%d)\n", *maxN, *maxM)
+		return 1
+	}
+	fmt.Fprint(stdout, experiments.Figure7CSV(cells))
 
 	worst := cells[0]
 	var valley experiments.Figure7Cell
@@ -42,7 +58,8 @@ func main() {
 			valley = c
 		}
 	}
-	fmt.Fprintf(os.Stderr, "cells: %d; global worst ratio %.4f at (n=%d, m=%d); ", len(cells), worst.Ratio, worst.N, worst.M)
-	fmt.Fprintf(os.Stderr, "worst at n=%d: %.4f (m=%d); paper: floor 5/7 ≈ 0.7143, valley ≈ 0.925 near m ≈ 0.425·n\n",
+	fmt.Fprintf(stderr, "cells: %d; global worst ratio %.4f at (n=%d, m=%d); ", len(cells), worst.Ratio, worst.N, worst.M)
+	fmt.Fprintf(stderr, "worst at n=%d: %.4f (m=%d); paper: floor 5/7 ≈ 0.7143, valley ≈ 0.925 near m ≈ 0.425·n\n",
 		valley.N, valley.Ratio, valley.M)
+	return 0
 }

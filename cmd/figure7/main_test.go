@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallGrid(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-maxn", "6", "-maxm", "6", "-stride", "2", "-deltas", "3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	csv := out.String()
+	if !strings.HasPrefix(csv, "n,m,ratio\n") {
+		t.Fatalf("missing CSV header:\n%s", csv)
+	}
+	// n ∈ {1,3,5}, m ∈ {0,2,4,6} → 12 cells plus the header line.
+	if lines := strings.Count(strings.TrimSpace(csv), "\n"); lines != 12 {
+		t.Fatalf("got %d data lines, want 12:\n%s", lines, csv)
+	}
+	if !strings.Contains(errb.String(), "global worst ratio") {
+		t.Fatalf("missing summary on stderr: %s", errb.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRunEmptyGrid(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-maxn", "0"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "empty grid") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+}

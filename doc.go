@@ -25,6 +25,17 @@
 // acyclic overlays) and repro.Simulate (Massoulié-style randomized
 // broadcast on the built overlay).
 //
+// Every algorithm is also reachable through the unified solver engine
+// (internal/engine): a named registry of uniform, context-aware solvers
+// plus a parallel batch runner for instance sweeps,
+//
+//	res, _  := repro.Solve(ctx, "acyclic", ins)          // registry dispatch
+//	all     := repro.SolverNames()                       // the catalogue
+//	results, _ := repro.SolveBatch(ctx, "acyclic-search", instances, repro.BatchOptions{})
+//
+// with capability filtering via repro.SelectSolvers (exact vs anytime,
+// handles-guarded, builds-scheme, cyclic).
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-versus-measured record of every table and figure, and the
 // examples/ directory for runnable walk-throughs.

@@ -24,18 +24,65 @@ func tol(scale float64) float64 {
 	return Eps * scale
 }
 
+// arc is one outgoing edge of the sparse rate matrix.
+type arc struct {
+	to   int
+	rate float64
+}
+
+// adjacency is one node's outgoing edges kept sorted by destination.
+// Compared to a map[int]float64 it is cache-friendly, allocation-cheap
+// (one backing array per node instead of map buckets) and iterates in
+// deterministic order, which removes the per-call sort from Edges — the
+// hot build/validate/maxflow paths all walk it.
+type adjacency []arc
+
+// find returns the slice position of destination j and whether it is
+// present; when absent, the position is the insertion point keeping the
+// adjacency sorted.
+func (a adjacency) find(j int) (int, bool) {
+	pos := sort.Search(len(a), func(k int) bool { return a[k].to >= j })
+	return pos, pos < len(a) && a[pos].to == j
+}
+
+// set writes rate r for destination j, inserting in sorted position. The
+// first insert reserves room for a handful of arcs: the paper's schemes
+// keep outdegrees near ⌈b_i/T⌉+O(1), so most nodes never reallocate.
+func (a *adjacency) set(j int, r float64) {
+	pos, ok := a.find(j)
+	if ok {
+		(*a)[pos].rate = r
+		return
+	}
+	if *a == nil {
+		*a = make(adjacency, 0, 4)
+	}
+	*a = append(*a, arc{})
+	copy((*a)[pos+1:], (*a)[pos:])
+	(*a)[pos] = arc{to: j, rate: r}
+}
+
+// remove deletes destination j if present.
+func (a *adjacency) remove(j int) {
+	pos, ok := a.find(j)
+	if !ok {
+		return
+	}
+	*a = append((*a)[:pos], (*a)[pos+1:]...)
+}
+
 // Scheme is a broadcast scheme: the rate matrix {c_ij} of Section II-D
 // attached to its instance. Rates are kept sparse (only positive entries
 // are stored, since c_ij = 0 means "no connection" and must not count
 // toward outdegrees).
 type Scheme struct {
 	ins *platform.Instance
-	out []map[int]float64
+	out []adjacency
 }
 
 // NewScheme returns an empty scheme for the instance.
 func NewScheme(ins *platform.Instance) *Scheme {
-	return &Scheme{ins: ins, out: make([]map[int]float64, ins.Total())}
+	return &Scheme{ins: ins, out: make([]adjacency, ins.Total())}
 }
 
 // Instance returns the instance this scheme was built for.
@@ -54,10 +101,12 @@ func (s *Scheme) Add(i, j int, rate float64) {
 	if rate <= tol(rate) {
 		return
 	}
-	if s.out[i] == nil {
-		s.out[i] = make(map[int]float64)
+	a := &s.out[i]
+	if pos, ok := a.find(j); ok {
+		(*a)[pos].rate += rate
+		return
 	}
-	s.out[i][j] += rate
+	a.set(j, rate)
 }
 
 // shift adjusts c[i][j] by delta (possibly negative); used by the cyclic
@@ -73,29 +122,26 @@ func (s *Scheme) shift(i, j int, delta float64) {
 	if next < -tol(math.Abs(delta)+cur) {
 		panic(fmt.Sprintf("core: edge (%d,%d) driven negative: %v + %v", i, j, cur, delta))
 	}
-	if s.out[i] == nil {
-		s.out[i] = make(map[int]float64)
-	}
 	if next <= tol(math.Abs(next)) {
-		delete(s.out[i], j)
+		s.out[i].remove(j)
 		return
 	}
-	s.out[i][j] = next
+	s.out[i].set(j, next)
 }
 
 // Rate returns c[i][j] (zero when absent).
 func (s *Scheme) Rate(i, j int) float64 {
-	if s.out[i] == nil {
-		return 0
+	if pos, ok := s.out[i].find(j); ok {
+		return s.out[i][pos].rate
 	}
-	return s.out[i][j]
+	return 0
 }
 
 // OutRate returns Σ_j c[i][j].
 func (s *Scheme) OutRate(i int) float64 {
 	var sum float64
-	for _, r := range s.out[i] {
-		sum += r
+	for _, e := range s.out[i] {
+		sum += e.rate
 	}
 	return sum
 }
@@ -104,8 +150,8 @@ func (s *Scheme) OutRate(i int) float64 {
 func (s *Scheme) InRate(j int) float64 {
 	var sum float64
 	for i := range s.out {
-		if s.out[i] != nil {
-			sum += s.out[i][j]
+		if pos, ok := s.out[i].find(j); ok {
+			sum += s.out[i][pos].rate
 		}
 	}
 	return sum
@@ -125,20 +171,15 @@ func (s *Scheme) MaxOutDegree() int {
 	return best
 }
 
-// Edges returns all edges sorted by (From, To).
+// Edges returns all edges sorted by (From, To). The adjacency slices are
+// already destination-sorted, so this is a single ordered copy.
 func (s *Scheme) Edges() []graph.Edge {
-	var es []graph.Edge
+	es := make([]graph.Edge, 0, s.NumEdges())
 	for i := range s.out {
-		for j, r := range s.out[i] {
-			es = append(es, graph.Edge{From: i, To: j, Weight: r})
+		for _, e := range s.out[i] {
+			es = append(es, graph.Edge{From: i, To: e.to, Weight: e.rate})
 		}
 	}
-	sort.Slice(es, func(a, b int) bool {
-		if es[a].From != es[b].From {
-			return es[a].From < es[b].From
-		}
-		return es[a].To < es[b].To
-	})
 	return es
 }
 
@@ -171,8 +212,10 @@ func (s *Scheme) Throughput() float64 {
 		return 0
 	}
 	net := maxflow.NewNetwork(total)
-	for _, e := range s.Edges() {
-		net.AddEdge(e.From, e.To, e.Weight)
+	for i := range s.out {
+		for _, e := range s.out[i] {
+			net.AddEdge(i, e.to, e.rate)
+		}
 	}
 	targets := make([]int, 0, total-1)
 	for i := 1; i < total; i++ {
@@ -211,9 +254,9 @@ func (s *Scheme) Validate() error {
 			return fmt.Errorf("core: node %d exceeds bandwidth: sends %v > b=%v", i, outSum, bi)
 		}
 		if s.ins.KindOf(i) == platform.Guarded {
-			for j := range s.out[i] {
-				if s.ins.KindOf(j) == platform.Guarded {
-					return fmt.Errorf("core: firewall violation on edge (%d,%d): both guarded", i, j)
+			for _, e := range s.out[i] {
+				if s.ins.KindOf(e.to) == platform.Guarded {
+					return fmt.Errorf("core: firewall violation on edge (%d,%d): both guarded", i, e.to)
 				}
 			}
 		}

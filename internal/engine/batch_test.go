@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/distribution"
+	"repro/internal/generator"
+	"repro/internal/platform"
+)
+
+// sweepInstances draws count reproducible random tight instances.
+func sweepInstances(t testing.TB, count, nodes int) []*platform.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2014))
+	out := make([]*platform.Instance, count)
+	for i := range out {
+		ins, err := generator.Random(distribution.Unif100(), nodes, 0.7, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = ins
+	}
+	return out
+}
+
+// stripWall zeroes the only nondeterministic Result field so parallel
+// and serial outcomes can be compared exactly.
+func stripWall(rs []Result) []Result {
+	out := append([]Result(nil), rs...)
+	for i := range out {
+		out[i].Wall = 0
+	}
+	return out
+}
+
+// TestBatchMatchesSerial runs a 1000-instance sweep in parallel and
+// serially and requires identical results in identical order.
+func TestBatchMatchesSerial(t *testing.T) {
+	instances := sweepInstances(t, 1000, 8)
+	s, err := Get("acyclic-search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	serial := make([]Result, len(instances))
+	for i, ins := range instances {
+		res, err := s.Solve(ctx, ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = res
+	}
+	parallel, err := Batch(ctx, s, instances, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripWall(serial), stripWall(parallel)) {
+		t.Fatal("parallel Batch results differ from the serial path")
+	}
+	// And again with an explicit worker count exceeding the job count.
+	parallel2, err := Batch(ctx, s, instances[:3], BatchOptions{Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripWall(serial[:3]), stripWall(parallel2)) {
+		t.Fatal("oversized pool changed results")
+	}
+}
+
+func TestBatchByName(t *testing.T) {
+	instances := sweepInstances(t, 8, 6)
+	rs, err := BatchByName(context.Background(), "cyclic-bound", instances, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r.Solver != "cyclic-bound" || r.Throughput <= 0 {
+			t.Fatalf("result %d degenerate: %+v", i, r)
+		}
+	}
+	if _, err := BatchByName(context.Background(), "nope", instances, BatchOptions{}); err == nil {
+		t.Fatal("unknown solver accepted")
+	}
+}
+
+// TestBatchCancellationMidSweep cancels the context after a prefix of
+// the sweep has completed and checks Batch returns promptly with
+// ctx.Err() instead of draining the remaining work.
+func TestBatchCancellationMidSweep(t *testing.T) {
+	const n = 500
+	instances := sweepInstances(t, n, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int64
+	blocker := NewSolver("blocker", CapHandlesGuarded,
+		func(ins *platform.Instance) (Result, error) {
+			if done.Add(1) == 10 {
+				cancel()
+			}
+			return Result{Throughput: 1}, nil
+		})
+	_, err := Batch(ctx, blocker, instances, BatchOptions{Workers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := done.Load(); got >= n {
+		t.Fatalf("cancellation did not stop the sweep: %d/%d jobs ran", got, n)
+	}
+}
+
+func TestBatchErrorAbortsAndReportsLowestIndex(t *testing.T) {
+	instances := sweepInstances(t, 100, 6)
+	boom := NewSolver("boom", CapHandlesGuarded,
+		func(ins *platform.Instance) (Result, error) {
+			return Result{}, fmt.Errorf("synthetic failure")
+		})
+	_, err := Batch(context.Background(), boom, instances, BatchOptions{Workers: 8})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if want := "instance 0"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("err = %v, want mention of %q (lowest failing index)", err, want)
+	}
+}
+
+func TestForEachDeterministicFill(t *testing.T) {
+	const n = 4096
+	got := make([]int, n)
+	err := ForEach(context.Background(), n, 0, func(_ context.Context, i int) error {
+		got[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+}
+
+func TestForEachEmptyAndPreCancelled(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, nil); err != nil {
+		t.Fatalf("empty ForEach: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEach(ctx, 10, 4, func(context.Context, int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

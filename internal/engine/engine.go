@@ -1,0 +1,234 @@
+// Package engine is the unified dispatch layer over every broadcast
+// algorithm of the paper. It exposes three things:
+//
+//   - Solver, a uniform interface (Name, Capabilities, context-aware
+//     Solve) wrapping each algorithm of internal/core;
+//   - Registry, a named catalogue of solvers with capability filtering —
+//     the Default registry holds every paper algorithm, so CLIs,
+//     experiments and benchmarks resolve algorithms by name instead of
+//     hard-wiring imports;
+//   - Batch / ForEach, a context-aware worker pool (sized by GOMAXPROCS)
+//     with deterministic result ordering for instance sweeps.
+//
+// The experiment drivers (Figure 7 grid, Figure 19 cells), cmd/bmpcast's
+// -solver flag and the sweep benchmarks all dispatch through this
+// package; adding an algorithm means one Register call, not five call
+// sites.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// Capability is a bitmask describing what a solver guarantees.
+type Capability uint32
+
+const (
+	// CapExact marks solvers whose throughput is provably optimal within
+	// their scheme class (cyclic or acyclic), not a heuristic.
+	CapExact Capability = 1 << iota
+	// CapHandlesGuarded marks solvers that accept instances with guarded
+	// (NAT/firewalled) nodes; others error on m > 0.
+	CapHandlesGuarded
+	// CapBuildsScheme marks solvers that return an explicit rate matrix
+	// (Result.Scheme non-nil), not just a throughput bound.
+	CapBuildsScheme
+	// CapCyclic marks solvers whose schemes may contain cycles.
+	CapCyclic
+	// CapAnytime marks fast heuristics: always a valid scheme, possibly
+	// below the optimum.
+	CapAnytime
+)
+
+var capNames = []struct {
+	c    Capability
+	name string
+}{
+	{CapExact, "exact"},
+	{CapHandlesGuarded, "handles-guarded"},
+	{CapBuildsScheme, "builds-scheme"},
+	{CapCyclic, "cyclic"},
+	{CapAnytime, "anytime"},
+}
+
+// Has reports whether c includes every bit of want.
+func (c Capability) Has(want Capability) bool { return c&want == want }
+
+// String renders the capability set as "exact|handles-guarded|...".
+func (c Capability) String() string {
+	var parts []string
+	for _, cn := range capNames {
+		if c.Has(cn.c) {
+			parts = append(parts, cn.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "|")
+}
+
+// Result is the uniform outcome of one Solve call.
+type Result struct {
+	// Solver is the name of the solver that produced the result.
+	Solver string
+	// Throughput is the achieved (or, for bound-only solvers, computed)
+	// broadcast throughput.
+	Throughput float64
+	// Word is the encoding word behind the scheme, when the algorithm is
+	// word-based (empty otherwise).
+	Word core.Word
+	// Scheme is the explicit rate matrix; nil for bound-only solvers.
+	Scheme *core.Scheme
+	// MaxOutDegree and MaxDegreeSlack summarize the degree cost of the
+	// scheme (slack is max_i o_i − ⌈b_i/T⌉, the paper's augmentation
+	// measure). Zero when Scheme is nil.
+	MaxOutDegree   int
+	MaxDegreeSlack int
+	// Edges is the number of positive-rate connections. Zero when Scheme
+	// is nil.
+	Edges int
+	// Wall is the wall-clock duration of the Solve call.
+	Wall time.Duration
+}
+
+// Solver is one broadcast algorithm behind a uniform, context-aware
+// front. Solve must be safe for concurrent use (all paper algorithms
+// are: they share no mutable state) and should honor ctx cancellation at
+// least on entry — the closed-form and near-linear algorithms finish in
+// microseconds, so finer-grained checks buy nothing.
+type Solver interface {
+	Name() string
+	Capabilities() Capability
+	Solve(ctx context.Context, ins *platform.Instance) (Result, error)
+}
+
+// funcSolver adapts a plain function to the Solver interface.
+type funcSolver struct {
+	name  string
+	caps  Capability
+	solve func(*platform.Instance) (Result, error)
+}
+
+// NewSolver wraps fn as a Solver. The engine adds the context entry
+// check, the name stamp and wall-clock timing around fn.
+func NewSolver(name string, caps Capability, fn func(*platform.Instance) (Result, error)) Solver {
+	return &funcSolver{name: name, caps: caps, solve: fn}
+}
+
+func (f *funcSolver) Name() string             { return f.name }
+func (f *funcSolver) Capabilities() Capability { return f.caps }
+func (f *funcSolver) Solve(ctx context.Context, ins *platform.Instance) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	res, err := f.solve(ins)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s: %w", f.name, err)
+	}
+	res.Solver = f.name
+	res.Wall = time.Since(start)
+	if res.Scheme != nil {
+		res.Edges = res.Scheme.NumEdges()
+		res.MaxOutDegree = res.Scheme.MaxOutDegree()
+		if res.Throughput > 0 {
+			_, res.MaxDegreeSlack = res.Scheme.DegreeSlack(res.Throughput)
+		}
+	}
+	return res, nil
+}
+
+// Registry is a named catalogue of solvers.
+type Registry struct {
+	mu      sync.RWMutex
+	solvers map[string]Solver
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{solvers: make(map[string]Solver)}
+}
+
+// Register adds a solver; empty or duplicate names are errors.
+func (r *Registry) Register(s Solver) error {
+	if s == nil || s.Name() == "" {
+		return fmt.Errorf("engine: solver must have a name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.solvers[s.Name()]; dup {
+		return fmt.Errorf("engine: solver %q already registered", s.Name())
+	}
+	r.solvers[s.Name()] = s
+	return nil
+}
+
+// MustRegister is Register that panics on error (for init-time wiring).
+func (r *Registry) MustRegister(s Solver) {
+	if err := r.Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Get resolves a solver by name; the error lists the known names.
+func (r *Registry) Get(name string) (Solver, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if s, ok := r.solvers[name]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("engine: unknown solver %q (known: %s)", name, strings.Join(r.names(), ", "))
+}
+
+// Names returns all registered names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.names()
+}
+
+func (r *Registry) names() []string {
+	ns := make([]string, 0, len(r.solvers))
+	for n := range r.solvers {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+// Select returns the solvers whose capabilities include every bit of
+// need, sorted by name.
+func (r *Registry) Select(need Capability) []Solver {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Solver
+	for _, s := range r.solvers {
+		if s.Capabilities().Has(need) {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Default is the registry pre-populated with every paper algorithm (see
+// solvers.go for the catalogue).
+var Default = NewRegistry()
+
+// Get resolves a name against the Default registry.
+func Get(name string) (Solver, error) { return Default.Get(name) }
+
+// Names lists the Default registry, sorted.
+func Names() []string { return Default.Names() }
+
+// Select filters the Default registry by capability.
+func Select(need Capability) []Solver { return Default.Select(need) }

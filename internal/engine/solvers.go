@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// The Default registry catalogue. One entry per paper algorithm:
+//
+//	acyclic        Theorem 4.1 dichotomic search + Lemma 4.6 low-degree scheme
+//	acyclic-search Theorem 4.1 search only (throughput + witness word)
+//	acyclic-open   Algorithm 1 (open-only platforms, slack ≤ 1)
+//	cyclic-bound   Lemma 5.1 closed-form optimal cyclic throughput (no scheme)
+//	cyclic-open    Theorem 5.2 cyclic constructor (open-only, slack ≤ 2)
+//	cyclic-pack    acyclic-layer packing toward T* on guarded platforms
+//	greedy         best-of ω1/ω2 canonical words (Theorem 6.2 machinery)
+//	exhaustive     brute-force word enumeration (small instances)
+//	depth          dichotomic search + depth-aware builder (delay ablation)
+//	oneport        degree-1 pipeline baseline (open-only ablation)
+func init() {
+	Default.MustRegister(NewSolver("acyclic",
+		CapExact|CapHandlesGuarded|CapBuildsScheme,
+		func(ins *platform.Instance) (Result, error) {
+			T, s, err := core.SolveAcyclic(ins)
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Throughput: T, Scheme: s}, nil
+		}))
+
+	Default.MustRegister(NewSolver("acyclic-search",
+		CapExact|CapHandlesGuarded,
+		func(ins *platform.Instance) (Result, error) {
+			T, w, err := core.OptimalAcyclicThroughput(ins)
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Throughput: T, Word: w}, nil
+		}))
+
+	Default.MustRegister(NewSolver("acyclic-open",
+		CapExact|CapBuildsScheme,
+		func(ins *platform.Instance) (Result, error) {
+			if ins.M() > 0 {
+				return Result{}, fmt.Errorf("requires an open-only instance (m = %d)", ins.M())
+			}
+			T := core.AcyclicOpenOptimalThroughput(ins)
+			s, err := core.AcyclicOpen(ins, T)
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Throughput: T, Scheme: s}, nil
+		}))
+
+	Default.MustRegister(NewSolver("cyclic-bound",
+		CapExact|CapHandlesGuarded|CapCyclic,
+		func(ins *platform.Instance) (Result, error) {
+			return Result{Throughput: core.OptimalCyclicThroughput(ins)}, nil
+		}))
+
+	Default.MustRegister(NewSolver("cyclic-open",
+		CapExact|CapBuildsScheme|CapCyclic,
+		func(ins *platform.Instance) (Result, error) {
+			T, s, err := core.SolveCyclicOpen(ins)
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Throughput: T, Scheme: s}, nil
+		}))
+
+	Default.MustRegister(NewSolver("cyclic-pack",
+		CapHandlesGuarded|CapBuildsScheme|CapCyclic|CapAnytime,
+		func(ins *platform.Instance) (Result, error) {
+			s, achieved, err := core.PackCyclicGuarded(ins, core.OptimalCyclicThroughput(ins))
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Throughput: achieved, Scheme: s}, nil
+		}))
+
+	Default.MustRegister(NewSolver("greedy",
+		CapHandlesGuarded|CapBuildsScheme|CapAnytime,
+		func(ins *platform.Instance) (Result, error) {
+			T, w, err := core.BestCanonicalThroughput(ins)
+			if err != nil {
+				return Result{}, err
+			}
+			return buildWord(ins, w, T, core.BuildScheme)
+		}))
+
+	Default.MustRegister(NewSolver("exhaustive",
+		CapExact|CapHandlesGuarded|CapBuildsScheme,
+		func(ins *platform.Instance) (Result, error) {
+			T, w, err := core.ExhaustiveAcyclicOptimumFloat(ins)
+			if err != nil {
+				return Result{}, err
+			}
+			return buildWord(ins, w, T, core.BuildScheme)
+		}))
+
+	Default.MustRegister(NewSolver("depth",
+		CapExact|CapHandlesGuarded|CapBuildsScheme,
+		func(ins *platform.Instance) (Result, error) {
+			T, w, err := core.OptimalAcyclicThroughput(ins)
+			if err != nil {
+				return Result{}, err
+			}
+			return buildWord(ins, w, T, core.BuildSchemeDepthAware)
+		}))
+
+	Default.MustRegister(NewSolver("oneport",
+		CapBuildsScheme|CapAnytime,
+		func(ins *platform.Instance) (Result, error) {
+			T, s, err := core.OnePortChainScheme(ins)
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Throughput: T, Scheme: s}, nil
+		}))
+}
+
+// buildWord materializes word w at throughput T, retrying a hair below T
+// when float dust makes the exact optimum infeasible (same policy as
+// core.SolveAcyclic).
+func buildWord(ins *platform.Instance, w core.Word, T float64, build func(*platform.Instance, core.Word, float64) (*core.Scheme, error)) (Result, error) {
+	s, err := build(ins, w, T)
+	if err != nil {
+		shaved := T * (1 - 1e-12)
+		s, err = build(ins, w, shaved)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Throughput: shaved, Word: w, Scheme: s}, nil
+	}
+	return Result{Throughput: T, Word: w, Scheme: s}, nil
+}

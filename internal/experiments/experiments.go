@@ -15,15 +15,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/distribution"
+	"repro/internal/engine"
 	"repro/internal/generator"
 	"repro/internal/platform"
 	"repro/internal/stats"
@@ -79,51 +78,47 @@ type Figure7Cell struct {
 // The surface floor is 5/7 and the asymptotic valley ≈ 0.925 runs along
 // m ≈ ((√41−3)/8)·n ≈ 0.425·n.
 func Figure7(maxN, maxM, stride, deltaSamples int) ([]Figure7Cell, error) {
+	return Figure7Ctx(context.Background(), maxN, maxM, stride, deltaSamples)
+}
+
+// Figure7Ctx is Figure7 with cancellation. Cells are solved on the
+// engine worker pool (one job per grid cell, each resolving the
+// registered acyclic-search solver per Δ-sample) and land pre-sorted in
+// (n, m) order because the pool preserves job indexing.
+func Figure7Ctx(ctx context.Context, maxN, maxM, stride, deltaSamples int) ([]Figure7Cell, error) {
 	if stride < 1 {
 		stride = 1
 	}
 	if deltaSamples < 1 {
 		deltaSamples = 1
 	}
-	var cells []Figure7Cell
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var firstErr error
+	solver, err := engine.Get("acyclic-search")
+	if err != nil {
+		return nil, err
+	}
+	type nm struct{ n, m int }
+	var grid []nm
 	for n := 1; n <= maxN; n += stride {
 		for m := 0; m <= maxM; m += stride {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(n, m int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				ratio, err := figure7Cell(n, m, deltaSamples)
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					return
-				}
-				cells = append(cells, Figure7Cell{N: n, M: m, Ratio: ratio})
-			}(n, m)
+			grid = append(grid, nm{n, m})
 		}
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	sort.Slice(cells, func(i, j int) bool {
-		if cells[i].N != cells[j].N {
-			return cells[i].N < cells[j].N
+	cells := make([]Figure7Cell, len(grid))
+	err = engine.ForEach(ctx, len(grid), 0, func(ctx context.Context, i int) error {
+		ratio, err := figure7Cell(ctx, solver, grid[i].n, grid[i].m, deltaSamples)
+		if err != nil {
+			return err
 		}
-		return cells[i].M < cells[j].M
+		cells[i] = Figure7Cell{N: grid[i].n, M: grid[i].m, Ratio: ratio}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	return cells, nil
 }
 
-func figure7Cell(n, m, deltaSamples int) (float64, error) {
+func figure7Cell(ctx context.Context, solver engine.Solver, n, m, deltaSamples int) (float64, error) {
 	worst := 1.0
 	samples := deltaSamples
 	if m == 0 {
@@ -138,13 +133,13 @@ func figure7Cell(n, m, deltaSamples int) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		tac, _, err := core.OptimalAcyclicThroughput(ins)
+		res, err := solver.Solve(ctx, ins)
 		if err != nil {
 			return 0, err
 		}
 		// T* = 1 by construction; the ratio is T*_ac itself.
-		if tac < worst {
-			worst = tac
+		if res.Throughput < worst {
+			worst = res.Throughput
 		}
 	}
 	return worst, nil
@@ -205,18 +200,22 @@ type AvgCaseCell struct {
 // AverageCase runs the Appendix XII study and returns one cell per
 // (distribution, p, n) combination, in configuration order.
 func AverageCase(cfg AvgCaseConfig) ([]AvgCaseCell, error) {
+	return AverageCaseCtx(context.Background(), cfg)
+}
+
+// AverageCaseCtx is AverageCase with cancellation. Repetitions run on
+// the engine worker pool; each repetition derives its own seeded
+// *rand.Rand via RepRNG, so results are identical run-to-run and
+// independent of worker scheduling.
+func AverageCaseCtx(ctx context.Context, cfg AvgCaseConfig) ([]AvgCaseCell, error) {
 	if cfg.Reps < 1 {
 		return nil, fmt.Errorf("experiments: Reps must be ≥ 1")
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 	var cells []AvgCaseCell
 	for _, dist := range cfg.Distributions {
 		for _, p := range cfg.OpenProbs {
 			for _, n := range cfg.Sizes {
-				cell, err := avgCaseCell(dist, p, n, cfg.Reps, cfg.Seed, workers)
+				cell, err := avgCaseCell(ctx, dist, p, n, cfg.Reps, cfg.Seed, cfg.Workers)
 				if err != nil {
 					return nil, err
 				}
@@ -227,34 +226,24 @@ func AverageCase(cfg AvgCaseConfig) ([]AvgCaseCell, error) {
 	return cells, nil
 }
 
-func avgCaseCell(dist distribution.Distribution, p float64, n, reps int, seed int64, workers int) (AvgCaseCell, error) {
+// RepRNG returns the deterministic random stream of one repetition of
+// the (p, n) panel cell under the given base seed. Exposing the
+// derivation makes every Figure 19 number reproducible in isolation
+// (see EXPERIMENTS.md, "Reproducibility").
+func RepRNG(seed int64, rep, n int, p float64) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(rep)*1000003 + int64(n)*7919 + int64(p*1000)))
+}
+
+func avgCaseCell(ctx context.Context, dist distribution.Distribution, p float64, n, reps int, seed int64, workers int) (AvgCaseCell, error) {
 	optR := make([]float64, reps)
 	omegaR := make([]float64, reps)
 	thmR := make([]float64, reps)
-	errs := make([]error, reps)
 
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for rep := range jobs {
-				// One deterministic sub-stream per repetition.
-				rng := rand.New(rand.NewSource(seed + int64(rep)*1000003 + int64(n)*7919 + int64(p*1000)))
-				errs[rep] = avgCaseOne(dist, p, n, rng, &optR[rep], &omegaR[rep], &thmR[rep])
-			}
-		}(w)
-	}
-	for rep := 0; rep < reps; rep++ {
-		jobs <- rep
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return AvgCaseCell{}, err
-		}
+	err := engine.ForEach(ctx, reps, workers, func(_ context.Context, rep int) error {
+		return avgCaseOne(dist, p, n, RepRNG(seed, rep, n, p), &optR[rep], &omegaR[rep], &thmR[rep])
+	})
+	if err != nil {
+		return AvgCaseCell{}, err
 	}
 	return AvgCaseCell{
 		Dist: dist.Name(), P: p, N: n, Reps: reps,

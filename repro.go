@@ -1,12 +1,14 @@
 package repro
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 
 	"repro/internal/bedibe"
 	"repro/internal/core"
 	"repro/internal/distribution"
+	"repro/internal/engine"
 	"repro/internal/generator"
 	"repro/internal/massoulie"
 	"repro/internal/platform"
@@ -39,6 +41,59 @@ func NewInstance(b0 float64, open, guarded []float64) (*Instance, error) {
 // MustInstance is NewInstance that panics on error.
 func MustInstance(b0 float64, open, guarded []float64) *Instance {
 	return platform.MustInstance(b0, open, guarded)
+}
+
+// ---------------------------------------------------------------------------
+// Solver engine: registry and parallel batch runner
+
+// Solver is one broadcast algorithm behind the engine's uniform,
+// context-aware front (Name, Capabilities, Solve).
+type Solver = engine.Solver
+
+// SolveResult is the uniform outcome of one Solver call: throughput,
+// scheme, degree statistics and wall time.
+type SolveResult = engine.Result
+
+// Capability is the bitmask describing what a solver guarantees.
+type Capability = engine.Capability
+
+// Solver capability bits.
+const (
+	CapExact          = engine.CapExact
+	CapHandlesGuarded = engine.CapHandlesGuarded
+	CapBuildsScheme   = engine.CapBuildsScheme
+	CapCyclic         = engine.CapCyclic
+	CapAnytime        = engine.CapAnytime
+)
+
+// BatchOptions tunes the parallel sweep runner.
+type BatchOptions = engine.BatchOptions
+
+// SolverNames lists every algorithm registered in the engine, sorted.
+func SolverNames() []string { return engine.Names() }
+
+// GetSolver resolves a solver by registry name ("acyclic",
+// "cyclic-bound", "greedy", "exhaustive", ...).
+func GetSolver(name string) (Solver, error) { return engine.Get(name) }
+
+// SelectSolvers returns the registered solvers providing every requested
+// capability bit.
+func SelectSolvers(need Capability) []Solver { return engine.Select(need) }
+
+// Solve resolves a solver by name and runs it on one instance.
+func Solve(ctx context.Context, solver string, ins *Instance) (SolveResult, error) {
+	s, err := engine.Get(solver)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return s.Solve(ctx, ins)
+}
+
+// SolveBatch sweeps instances on a GOMAXPROCS-sized worker pool with
+// deterministic result ordering (results[i] belongs to instances[i]) and
+// context cancellation.
+func SolveBatch(ctx context.Context, solver string, instances []*Instance, opts BatchOptions) ([]SolveResult, error) {
+	return engine.BatchByName(ctx, solver, instances, opts)
 }
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -144,5 +145,55 @@ func TestFacadeGenerators(t *testing.T) {
 func TestFacadeWorstCaseRatioConstant(t *testing.T) {
 	if math.Abs(repro.WorstCaseRatio-5.0/7.0) > 1e-15 {
 		t.Fatalf("WorstCaseRatio = %v", repro.WorstCaseRatio)
+	}
+}
+
+// TestFacadeEngine exercises the re-exported solver engine: registry
+// dispatch, capability filtering and the parallel batch runner.
+func TestFacadeEngine(t *testing.T) {
+	ctx := context.Background()
+	ins := repro.Figure1Instance()
+
+	if len(repro.SolverNames()) < 10 {
+		t.Fatalf("SolverNames() = %v", repro.SolverNames())
+	}
+	res, err := repro.Solve(ctx, "acyclic", ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Throughput-4) > 1e-6 || res.Scheme == nil {
+		t.Fatalf("acyclic result: %+v", res)
+	}
+	for _, s := range repro.SelectSolvers(repro.CapExact | repro.CapBuildsScheme | repro.CapHandlesGuarded) {
+		r, err := s.Solve(ctx, ins)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := r.Scheme.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(6))
+	instances := make([]*repro.Instance, 50)
+	for i := range instances {
+		var err error
+		instances[i], err = repro.RandomInstance(repro.Unif100(), 10, 0.7, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := repro.SolveBatch(ctx, "acyclic-search", instances, repro.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		want, _, err := repro.OptimalAcyclicThroughput(instances[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Throughput != want {
+			t.Fatalf("batch result %d: %v != serial %v", i, r.Throughput, want)
+		}
 	}
 }
