@@ -155,6 +155,7 @@ func BenchmarkBatchSweep(b *testing.B) {
 	}
 	ctx := context.Background()
 	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := repro.SolveBatch(ctx, "acyclic-search", instances, repro.BatchOptions{}); err != nil {
 				b.Fatal(err)
@@ -162,6 +163,7 @@ func BenchmarkBatchSweep(b *testing.B) {
 		}
 	})
 	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := repro.SolveBatch(ctx, "acyclic-search", instances, repro.BatchOptions{Workers: 1}); err != nil {
 				b.Fatal(err)
@@ -275,9 +277,41 @@ func BenchmarkThroughputMaxflow(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Throughput()
+	}
+}
+
+// BenchmarkThroughputMaxflowWorkspace is the pooled-path variant of
+// BenchmarkThroughputMaxflow: one warm workspace across iterations, the
+// steady state every engine sweep runs in (expected 0 allocs/op).
+func BenchmarkThroughputMaxflowWorkspace(b *testing.B) {
+	ins := randomMixed(8, 100, 100)
+	_, s, err := repro.SolveAcyclic(ins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := repro.NewWorkspace()
+	s.ThroughputWithWorkspace(ws)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ThroughputWithWorkspace(ws)
+	}
+}
+
+// BenchmarkSolveAcyclicWorkspace measures the full search+build pipeline
+// on one warm workspace (the per-instance unit of an engine sweep).
+func BenchmarkSolveAcyclicWorkspace(b *testing.B) {
+	ins := randomMixed(8, 100, 100)
+	ws := repro.NewWorkspace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := repro.SolveAcyclicWithWorkspace(ins, ws); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

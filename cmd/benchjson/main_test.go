@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkThroughputMaxflow-8         	      50	 1158646 ns/op	   67552 B/op	     644 allocs/op
+BenchmarkThroughputMaxflowWorkspace 	      50	 1136059 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAblationDepth/earliest-first-8 	     100	   90000 ns/op	       6.0 depth
+PASS
+ok  	repro	0.428s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("metadata not parsed: %+v", doc)
+	}
+	if len(doc.Pkg) != 1 || doc.Pkg[0] != "repro" {
+		t.Fatalf("pkg = %v", doc.Pkg)
+	}
+	if len(doc.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(doc.Results))
+	}
+	r := doc.Results[0]
+	if r.Name != "BenchmarkThroughputMaxflow" || r.Iterations != 50 ||
+		r.NsPerOp != 1158646 || r.BytesPerOp != 67552 || r.AllocsPerOp != 644 {
+		t.Fatalf("result 0 mis-parsed: %+v", r)
+	}
+	if r2 := doc.Results[1]; r2.Name != "BenchmarkThroughputMaxflowWorkspace" || r2.AllocsPerOp != 0 {
+		t.Fatalf("result 1 mis-parsed: %+v", r2)
+	}
+	r3 := doc.Results[2]
+	if r3.Name != "BenchmarkAblationDepth/earliest-first" {
+		t.Fatalf("sub-benchmark name mis-parsed: %q", r3.Name)
+	}
+	if r3.Metrics["depth"] != 6.0 {
+		t.Fatalf("custom metric mis-parsed: %+v", r3.Metrics)
+	}
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	doc, err := Parse(strings.NewReader("PASS\nok repro 0.1s\nBenchmarkBroken 12\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 0 {
+		t.Fatalf("noise parsed as results: %+v", doc.Results)
+	}
+}

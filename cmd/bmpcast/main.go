@@ -229,11 +229,13 @@ func cmdSweep(args []string, stdout io.Writer) error {
 
 	ratios := make([]float64, len(results))
 	walls := make([]float64, len(results))
+	var evals core.WorkspaceStats
 	for i, r := range results {
 		// Instances are tight (T* = b0), so the ratio to the cyclic
 		// optimum is throughput/b0.
 		ratios[i] = r.Throughput / instances[i].B0
 		walls[i] = r.Wall.Seconds() * 1e3
+		evals = evals.Add(r.Evals)
 	}
 	rs := stats.Summarize(ratios)
 	ws := stats.Summarize(walls)
@@ -243,6 +245,8 @@ func cmdSweep(args []string, stdout io.Writer) error {
 		rs.Mean, rs.Median, rs.P025, rs.Min)
 	fmt.Fprintf(stdout, "per-instance solve: mean %.3fms median %.3fms max %.3fms\n",
 		ws.Mean, ws.Median, ws.Max)
+	fmt.Fprintf(stdout, "inner evals: %d greedy probes, %d flow queries, %d word evals, %d builds (%d scratch grows)\n",
+		evals.GreedyTests, evals.FlowEvals, evals.WordEvals, evals.Builds, evals.Grows)
 	fmt.Fprintf(stdout, "wall total %.3fs (%.0f instances/s)\n",
 		elapsed.Seconds(), float64(*count)/elapsed.Seconds())
 	return nil

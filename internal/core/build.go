@@ -61,15 +61,29 @@ func (q *queue) totalRem() float64 {
 //
 // It returns an error when the word cannot support throughput T.
 func BuildScheme(ins *platform.Instance, w Word, T float64) (*Scheme, error) {
+	return BuildSchemeWithWorkspace(ins, w, T, nil)
+}
+
+// BuildSchemeWithWorkspace is BuildScheme with the supplier queues taken
+// from ws; the scheme itself is freshly allocated (it escapes to the
+// caller), but the construction's transient state reuses the workspace.
+func BuildSchemeWithWorkspace(ins *platform.Instance, w Word, T float64, ws *Workspace) (*Scheme, error) {
 	if err := w.Validate(ins); err != nil {
 		return nil, err
 	}
 	if T <= 0 {
 		return nil, fmt.Errorf("core: BuildScheme needs positive throughput, got %v", T)
 	}
+	ws = ws.ensure()
+	ws.stats.Builds++
 	eps := tol(T)
 	scheme := NewScheme(ins)
-	var open, guarded queue
+	open := queue{items: ws.openQ[:0]}
+	guarded := queue{items: ws.guardedQ[:0]}
+	defer func() {
+		ws.openQ = open.items[:0]
+		ws.guardedQ = guarded.items[:0]
+	}()
 	open.push(0, ins.B0)
 
 	draw := func(q *queue, to int, need float64) float64 {
@@ -117,15 +131,22 @@ func BuildScheme(ins *platform.Instance, w Word, T float64) (*Scheme, error) {
 // the corresponding low-degree scheme — the end-to-end pipeline of
 // Section IV (GreedyTest + dichotomic search + Lemma 4.6 construction).
 func SolveAcyclic(ins *platform.Instance) (float64, *Scheme, error) {
-	T, w, err := OptimalAcyclicThroughput(ins)
+	return SolveAcyclicWithWorkspace(ins, nil)
+}
+
+// SolveAcyclicWithWorkspace is the full acyclic pipeline (search +
+// construction) on one reusable workspace.
+func SolveAcyclicWithWorkspace(ins *platform.Instance, ws *Workspace) (float64, *Scheme, error) {
+	ws = ws.ensure()
+	T, w, err := OptimalAcyclicThroughputWithWorkspace(ins, ws)
 	if err != nil {
 		return 0, nil, err
 	}
-	scheme, err := BuildScheme(ins, w, T)
+	scheme, err := BuildSchemeWithWorkspace(ins, w, T, ws)
 	if err != nil {
 		// The word is feasible at T up to float dust; retry a hair below.
 		shaved := T * (1 - 1e-12)
-		scheme, err = BuildScheme(ins, w, shaved)
+		scheme, err = BuildSchemeWithWorkspace(ins, w, shaved, ws)
 		if err != nil {
 			return 0, nil, err
 		}

@@ -22,9 +22,19 @@ import (
 //     the last two inserted nodes always exchange a total of exactly T
 //     (invariants (P1)–(P4) of the proof).
 func CyclicOpen(ins *platform.Instance, T float64) (*Scheme, error) {
+	return CyclicOpenWithWorkspace(ins, T, nil)
+}
+
+// CyclicOpenWithWorkspace is CyclicOpen with transient state (the
+// reroute step's in-edge scan) on reusable scratch — the phase-2
+// insertion no longer materializes the whole communication graph to
+// read one node's in-edges.
+func CyclicOpenWithWorkspace(ins *platform.Instance, T float64, ws *Workspace) (*Scheme, error) {
 	if ins.M() != 0 {
 		return nil, fmt.Errorf("core: CyclicOpen requires an open-only instance, got m=%d", ins.M())
 	}
+	ws = ws.ensure()
+	ws.stats.Builds++
 	n := ins.N()
 	if n == 0 {
 		return NewScheme(ins), nil
@@ -84,7 +94,8 @@ func CyclicOpen(ins *platform.Instance, T float64) (*Scheme, error) {
 	// Reroute α of C_i's partial in-flow (from the set A) to C_{i+1}.
 	if alpha > eps {
 		rem := alpha
-		for _, e := range scheme.Graph().In(i) {
+		ws.edges = scheme.InEdges(i, ws.edges[:0])
+		for _, e := range ws.edges {
 			if rem <= eps {
 				break
 			}
@@ -145,8 +156,13 @@ func CyclicOpen(ins *platform.Instance, T float64) (*Scheme, error) {
 // open-only instance: T* = min(b0, (b0+O)/n) (Lemma 5.1 with m = 0),
 // achieved with outdegrees ≤ max(⌈b_i/T*⌉+2, 4) (Theorem 5.2).
 func SolveCyclicOpen(ins *platform.Instance) (float64, *Scheme, error) {
+	return SolveCyclicOpenWithWorkspace(ins, nil)
+}
+
+// SolveCyclicOpenWithWorkspace is SolveCyclicOpen on reusable scratch.
+func SolveCyclicOpenWithWorkspace(ins *platform.Instance, ws *Workspace) (float64, *Scheme, error) {
 	T := OptimalCyclicThroughput(ins)
-	s, err := CyclicOpen(ins, T)
+	s, err := CyclicOpenWithWorkspace(ins, T, ws)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -40,16 +40,24 @@ import (
 // (≤ T). Tests measure the optimality gap; on every instance family we
 // draw it is < 1e-6 relative.
 func PackCyclicGuarded(ins *platform.Instance, T float64) (*Scheme, float64, error) {
+	return PackCyclicGuardedWithWorkspace(ins, T, nil)
+}
+
+// PackCyclicGuardedWithWorkspace is the packer on reusable scratch: the
+// residual-capacity vector, the per-peel supplier pools, the pending
+// rate list and every feasibility probe's word buffer come from ws.
+func PackCyclicGuardedWithWorkspace(ins *platform.Instance, T float64, ws *Workspace) (*Scheme, float64, error) {
 	if T <= 0 {
 		return nil, 0, fmt.Errorf("core: PackCyclicGuarded needs positive throughput, got %v", T)
 	}
+	ws = ws.ensure()
 	tstar := OptimalCyclicThroughput(ins)
 	if T > tstar+tol(tstar) {
 		return nil, 0, fmt.Errorf("core: throughput %v exceeds cyclic optimum %v", T, tstar)
 	}
 	// The open-only quadrant has the dedicated Theorem 5.2 constructor.
 	if ins.M() == 0 {
-		s, err := CyclicOpen(ins, T)
+		s, err := CyclicOpenWithWorkspace(ins, T, ws)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -68,7 +76,7 @@ func PackCyclicGuarded(ins *platform.Instance, T float64) (*Scheme, float64, err
 		return s, T, nil
 	}
 
-	resid := ins.Bandwidths()
+	resid := ws.residFor(ins)
 	scheme := NewScheme(ins)
 	packed := 0.0
 	eps := tol(T)
@@ -82,9 +90,11 @@ func PackCyclicGuarded(ins *platform.Instance, T float64) (*Scheme, float64, err
 		wRem := T - packed
 
 		// Final layer: if the whole remainder fits acyclically, take it.
-		if word, ok := GreedyTest(rIns, wRem*(1-1e-13)); ok {
+		// The probe word lives in the workspace buffer: it is consumed by
+		// peelOnce before the next probe can overwrite it.
+		if word, ok := ws.probeWord(rIns, wRem*(1-1e-13)); ok {
 			w := wRem * (1 - 1e-13)
-			if peelOnce(scheme, rIns, word, w, resid, openIDs, guardedIDs) {
+			if peelOnce(scheme, rIns, word, w, resid, openIDs, guardedIDs, ws) {
 				packed += w
 				continue
 			}
@@ -94,19 +104,19 @@ func PackCyclicGuarded(ins *platform.Instance, T float64) (*Scheme, float64, err
 		// words, the largest w that is feasible AND leaves the source
 		// enough bandwidth for the remaining target (every future layer
 		// must ship ≥ its rate from the source).
-		w, word := bestFrugalPeel(rIns, wRem, eps)
+		w, word := bestFrugalPeel(rIns, wRem, eps, ws)
 		if w <= eps {
 			// No reserve-respecting layer: fall back to a plain maximal
 			// acyclic peel (progress beats stalling; the reserve test
 			// re-engages next round).
 			var err error
-			w, word, err = OptimalAcyclicThroughput(rIns)
+			w, word, err = OptimalAcyclicThroughputWithWorkspace(rIns, ws)
 			if err != nil || w <= eps {
 				break
 			}
 			w = math.Min(w, wRem) * (1 - 1e-13)
 		}
-		if w <= eps || !peelOnce(scheme, rIns, word, w, resid, openIDs, guardedIDs) {
+		if w <= eps || !peelOnce(scheme, rIns, word, w, resid, openIDs, guardedIDs, ws) {
 			break
 		}
 		packed += w
@@ -123,7 +133,7 @@ func PackCyclicGuarded(ins *platform.Instance, T float64) (*Scheme, float64, err
 // the remaining target (source rate, open capacity for guarded demand,
 // total capacity). Bisection per candidate — feasibility and every class
 // spend are monotone in w.
-func bestFrugalPeel(rIns *platform.Instance, wRem, eps float64) (float64, Word) {
+func bestFrugalPeel(rIns *platform.Instance, wRem, eps float64, ws *Workspace) (float64, Word) {
 	n, m := rIns.N(), rIns.M()
 	sumOpen, sumGuarded := rIns.SumOpen(), rIns.SumGuarded()
 	var bestW float64
@@ -131,12 +141,18 @@ func bestFrugalPeel(rIns *platform.Instance, wRem, eps float64) (float64, Word) 
 	candidates := frugalWords(rIns)
 	for ci := 0; ci <= len(candidates); ci++ {
 		// Candidate ci < len: a fixed ω word. Candidate ci == len: the
-		// GreedyTest word recomputed at each probed rate.
+		// GreedyTest word recomputed at each probed rate on the workspace
+		// buffer (a feasible word is parked via keepWord until the next
+		// success, matching the dichotomic search's double-buffering).
 		wordAt := func(w float64) (Word, bool) {
 			if ci < len(candidates) {
 				return candidates[ci], WordFeasible(rIns, candidates[ci], w)
 			}
-			return GreedyTest(rIns, w)
+			cand, feasible := ws.probeWord(rIns, w)
+			if feasible {
+				cand = ws.keepWord(cand)
+			}
+			return cand, feasible
 		}
 		var lastWord Word
 		ok := func(w float64) bool {
@@ -147,7 +163,7 @@ func bestFrugalPeel(rIns *platform.Instance, wRem, eps float64) (float64, Word) 
 			if !feasible {
 				return false
 			}
-			src, open, guarded := classSpends(rIns, cand, w)
+			src, open, guarded := classSpends(rIns, cand, w, ws)
 			rem := wRem - w
 			r0 := rIns.B0 - src
 			o := sumOpen - open
@@ -179,7 +195,9 @@ func bestFrugalPeel(rIns *platform.Instance, wRem, eps float64) (float64, Word) 
 		}
 		if lo > bestW && lastWord != nil && ok(lo) {
 			bestW = lo * (1 - 1e-13)
-			bestWord = lastWord
+			// lastWord may alias the workspace buffer later probes reuse;
+			// the surviving layer word is copied into stable storage.
+			bestWord = cloneWord(lastWord)
 		}
 	}
 	return bestW, bestWord
@@ -203,13 +221,18 @@ func frugalWords(rIns *platform.Instance) []Word {
 // classSpends simulates the conservative source-last filling for
 // (word, w) and returns the bandwidth consumed from the source, from the
 // ordinary open nodes, and from the guarded nodes (∞ source spend when
-// the filling fails).
-func classSpends(rIns *platform.Instance, word Word, w float64) (src, open, guarded float64) {
+// the filling fails). Pool storage comes from the workspace: the
+// bisection probes this ~180 times per peel round.
+func classSpends(rIns *platform.Instance, word Word, w float64, ws *Workspace) (src, open, guarded float64) {
 	eps := tol(w)
 	// Pools hold remaining capacities; the source sits at the bottom of
 	// the open pool, ordinary suppliers stack on top (drained first).
-	openPool := []float64{rIns.B0}
-	var guardedPool []float64
+	openPool := append(ws.poolA[:0], rIns.B0)
+	guardedPool := ws.poolB[:0]
+	defer func() {
+		ws.poolA = openPool[:0]
+		ws.poolB = guardedPool[:0]
+	}()
 	draw := func(pool []float64, need float64, fromOpen bool) ([]float64, float64) {
 		for need > eps {
 			top := -1
@@ -295,24 +318,24 @@ func residualInstance(ins *platform.Instance, resid []float64) (*platform.Instan
 // last, and transcribes the resulting rates into the accumulated scheme
 // under original node ids. It returns false if the filling failed (in
 // which case nothing was committed — the caller simply stops peeling).
+// Supplier stacks and the pending rate list reuse workspace storage
+// (the supplier queues are idle here: nothing below this frame builds a
+// scheme from a word).
 func peelOnce(scheme *Scheme, rIns *platform.Instance, word Word, w float64,
-	resid []float64, openIDs, guardedIDs []int) bool {
+	resid []float64, openIDs, guardedIDs []int, ws *Workspace) bool {
 
 	eps := tol(w)
-	type sup struct {
-		orig int
-		rem  float64
-	}
-	var openPool, guardedPool []sup // stacks: drain from the back
-	openPool = append(openPool, sup{orig: 0, rem: resid[0]})
+	openPool := ws.openQ[:0] // stacks: drain from the back
+	guardedPool := ws.guardedQ[:0]
+	pending := ws.pending[:0]
+	defer func() {
+		ws.openQ = openPool[:0]
+		ws.guardedQ = guardedPool[:0]
+		ws.pending = pending[:0]
+	}()
+	openPool = append(openPool, supplier{id: 0, rem: resid[0]})
 
-	type rate struct {
-		from, to int
-		r        float64
-	}
-	var pending []rate
-
-	draw := func(pool []sup, to int, need float64) ([]sup, float64) {
+	draw := func(pool []supplier, to int, need float64) ([]supplier, float64) {
 		for need > eps {
 			top := -1
 			for k := len(pool) - 1; k >= 0; k-- {
@@ -325,7 +348,7 @@ func peelOnce(scheme *Scheme, rIns *platform.Instance, word Word, w float64,
 				return pool, need
 			}
 			take := math.Min(need, pool[top].rem)
-			pending = append(pending, rate{from: pool[top].orig, to: to, r: take})
+			pending = append(pending, pendingRate{from: pool[top].id, to: to, r: take})
 			pool[top].rem -= take
 			need -= take
 		}
@@ -342,7 +365,7 @@ func peelOnce(scheme *Scheme, rIns *platform.Instance, word Word, w float64,
 			if rest > eps {
 				return false
 			}
-			guardedPool = append(guardedPool, sup{orig: id, rem: resid[id]})
+			guardedPool = append(guardedPool, supplier{id: id, rem: resid[id]})
 		} else {
 			id := openIDs[nextOpen]
 			nextOpen++
@@ -356,7 +379,7 @@ func peelOnce(scheme *Scheme, rIns *platform.Instance, word Word, w float64,
 			}
 			// Keep the source at the bottom of the stack: ordinary
 			// nodes are pushed on top and therefore drained first.
-			openPool = append(openPool, sup{orig: id, rem: resid[id]})
+			openPool = append(openPool, supplier{id: id, rem: resid[id]})
 		}
 	}
 	// Commit: transcribe rates and debit residual capacities.

@@ -36,7 +36,22 @@ func GreedyTestTrace(ins *platform.Instance, T float64) (Word, []TraceStep, bool
 	return greedyTest(ins, T, true)
 }
 
+// greedyTestInto is the allocation-free core of Algorithm 2: it runs
+// the greedy decision writing letters into word (whose backing array is
+// reused — pass a workspace buffer to probe repeatedly without churn)
+// and returns the possibly-reallocated slice. The returned word aliases
+// that buffer; callers retaining it across further probes must copy it
+// or park it with Workspace.keepWord.
+func greedyTestInto(ins *platform.Instance, T float64, word Word) (Word, bool) {
+	w, _, ok := greedyTestImpl(ins, T, false, word)
+	return w, ok
+}
+
 func greedyTest(ins *platform.Instance, T float64, trace bool) (Word, []TraceStep, bool) {
+	return greedyTestImpl(ins, T, trace, make(Word, 0, ins.N()+ins.M()))
+}
+
+func greedyTestImpl(ins *platform.Instance, T float64, trace bool, word Word) (Word, []TraceStep, bool) {
 	n, m := ins.N(), ins.M()
 	if T <= 0 {
 		return nil, nil, false
@@ -47,7 +62,7 @@ func greedyTest(ins *platform.Instance, T float64, trace bool) (Word, []TraceSte
 	G := 0.0
 	W := 0.0
 	i, j := 0, 0 // open and guarded letters already placed
-	word := make(Word, 0, n+m)
+	word = word[:0]
 	var steps []TraceStep
 
 	nextGuarded := func() float64 { return ins.GuardedBW[j] }

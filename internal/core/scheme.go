@@ -183,6 +183,18 @@ func (s *Scheme) Edges() []graph.Edge {
 	return es
 }
 
+// InEdges appends every positive-rate edge into j to buf (in sender
+// order) and returns the extended slice. Callers needing one node's
+// in-edges use this instead of materializing the whole Graph.
+func (s *Scheme) InEdges(j int, buf []graph.Edge) []graph.Edge {
+	for i := range s.out {
+		if pos, ok := s.out[i].find(j); ok {
+			buf = append(buf, graph.Edge{From: i, To: j, Weight: s.out[i][pos].rate})
+		}
+	}
+	return buf
+}
+
 // NumEdges returns the number of positive-rate edges.
 func (s *Scheme) NumEdges() int {
 	c := 0
@@ -207,21 +219,26 @@ func (s *Scheme) IsAcyclic() bool { return s.Graph().IsAcyclic() }
 // Throughput computes T = min_i maxflow(C0 → Ci) with the float64
 // max-flow solver (the paper's definition of scheme throughput).
 func (s *Scheme) Throughput() float64 {
+	return s.ThroughputWithWorkspace(nil)
+}
+
+// ThroughputWithWorkspace is Throughput on reusable scratch: the flow
+// network, the Dinic solver state and the target list all come from ws,
+// so repeated verification (every solver runs one per instance, sweeps
+// run thousands) allocates nothing once the workspace is warm.
+func (s *Scheme) ThroughputWithWorkspace(ws *Workspace) float64 {
+	ws = ws.ensure()
 	total := s.ins.Total()
 	if total <= 1 {
 		return 0
 	}
-	net := maxflow.NewNetwork(total)
+	net := ws.flow.Network(total)
 	for i := range s.out {
 		for _, e := range s.out[i] {
 			net.AddEdge(i, e.to, e.rate)
 		}
 	}
-	targets := make([]int, 0, total-1)
-	for i := 1; i < total; i++ {
-		targets = append(targets, i)
-	}
-	return net.MinFromSource(0, targets)
+	return ws.flow.MinFromSource(net, 0, ws.broadcastTargets(total))
 }
 
 // ThroughputExact computes the throughput with exact rational max-flow.
@@ -229,16 +246,24 @@ func (s *Scheme) Throughput() float64 {
 func (s *Scheme) ThroughputExact() *big.Rat {
 	total := s.ins.Total()
 	net := maxflow.NewRatNetwork(total)
-	for _, e := range s.Edges() {
-		r := new(big.Rat)
-		r.SetFloat64(e.Weight)
-		net.AddEdge(e.From, e.To, r)
+	r := new(big.Rat)
+	for i := range s.out {
+		for _, e := range s.out[i] {
+			r.SetFloat64(e.rate)
+			net.AddEdge(i, e.to, r) // AddEdge copies the capacity
+		}
 	}
-	targets := make([]int, 0, total-1)
-	for i := 1; i < total; i++ {
-		targets = append(targets, i)
+	return net.MinFromSource(0, fillBroadcastTargets(make([]int, total-1)))
+}
+
+// fillBroadcastTargets writes the node list {1, ..., len(buf)} — the
+// "every receiver" target set of the throughput functional, shared by
+// Throughput and ThroughputExact — into buf.
+func fillBroadcastTargets(buf []int) []int {
+	for i := range buf {
+		buf[i] = i + 1
 	}
-	return net.MinFromSource(0, targets)
+	return buf
 }
 
 // Validate checks the model constraints of Section II-D:

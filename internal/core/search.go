@@ -24,25 +24,46 @@ const searchIterations = 100
 // T*_ac, so the result is a certified acyclic throughput within bisection
 // resolution of the true optimum.
 func OptimalAcyclicThroughput(ins *platform.Instance) (float64, Word, error) {
+	return OptimalAcyclicThroughputWithWorkspace(ins, nil)
+}
+
+// OptimalAcyclicThroughputWithWorkspace is the dichotomic search on
+// reusable scratch: the ~100 feasibility probes write their candidate
+// words into the workspace's double buffer (the current survivor lives
+// in one buffer while probes overwrite the other) instead of allocating
+// one word per probe. Only the winning word is copied out, so the
+// returned Word is stable and safe to retain.
+func OptimalAcyclicThroughputWithWorkspace(ins *platform.Instance, ws *Workspace) (float64, Word, error) {
+	ws = ws.ensure()
 	if ins.Total() == 1 {
 		return ins.B0, Word{}, nil
 	}
+	// probe runs one Algorithm 2 feasibility test on the scratch buffer;
+	// a successful word is parked via keepWord so later probes cannot
+	// clobber it.
+	probe := func(T float64) (Word, bool) {
+		w, ok := ws.probeWord(ins, T)
+		if ok {
+			w = ws.keepWord(w)
+		}
+		return w, ok
+	}
 	hi := OptimalCyclicThroughput(ins) // T*_ac ≤ T* (acyclic ⊂ cyclic)
-	if w, ok := GreedyTest(ins, hi); ok {
-		return refineWord(ins, w, hi), w, nil
+	if w, ok := probe(hi); ok {
+		return refineWord(ins, w, hi, ws), cloneWord(w), nil
 	}
 	lo := 0.0
 	var loWord Word
 	// Theorem 6.2 guarantees feasibility at 5/7·T*; start just below it
 	// to save iterations, falling back to 0 if the guarantee is shaved
 	// off by float tolerance.
-	if w, ok := GreedyTest(ins, hi*WorstCaseRatio*(1-1e-9)); ok {
+	if w, ok := probe(hi * WorstCaseRatio * (1 - 1e-9)); ok {
 		lo = hi * WorstCaseRatio * (1 - 1e-9)
 		loWord = w
 	}
 	for iter := 0; iter < searchIterations; iter++ {
 		mid := lo + (hi-lo)/2
-		if w, ok := GreedyTest(ins, mid); ok {
+		if w, ok := probe(mid); ok {
 			lo, loWord = mid, w
 		} else {
 			hi = mid
@@ -51,14 +72,17 @@ func OptimalAcyclicThroughput(ins *platform.Instance) (float64, Word, error) {
 	if loWord == nil {
 		return 0, nil, errors.New("core: no feasible acyclic throughput found")
 	}
-	return refineWord(ins, loWord, lo), loWord, nil
+	return refineWord(ins, loWord, lo, ws), cloneWord(loWord), nil
 }
+
+// cloneWord copies a workspace-buffered word into stable storage.
+func cloneWord(w Word) Word { return append(Word(nil), w...) }
 
 // refineWord returns the per-word exact optimum when it improves on the
 // bisection value (it always should — the word is feasible at lo, so
 // WordThroughput(word) ≥ lo).
-func refineWord(ins *platform.Instance, w Word, lo float64) float64 {
-	if t := WordThroughput(ins, w); t > lo {
+func refineWord(ins *platform.Instance, w Word, lo float64, ws *Workspace) float64 {
+	if t := WordThroughputWithWorkspace(ins, w, ws); t > lo {
 		return t
 	}
 	return lo
@@ -81,6 +105,13 @@ func OptimalAcyclicThroughputExact(ins *platform.Instance) (*big.Rat, Word, erro
 // FeasibleAcyclic reports whether throughput T is acyclically achievable,
 // i.e. T ≤ T*_ac (Theorem 4.1's linear-time decision).
 func FeasibleAcyclic(ins *platform.Instance, T float64) bool {
-	_, ok := GreedyTest(ins, T)
+	return FeasibleAcyclicWithWorkspace(ins, T, nil)
+}
+
+// FeasibleAcyclicWithWorkspace is the Algorithm 2 decision on reusable
+// scratch — the witness word lands in the workspace buffer and is
+// discarded, so repeated probing allocates nothing.
+func FeasibleAcyclicWithWorkspace(ins *platform.Instance, T float64, ws *Workspace) bool {
+	_, ok := ws.ensure().probeWord(ins, T)
 	return ok
 }

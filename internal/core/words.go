@@ -76,14 +76,20 @@ func CanonicalWords(ins *platform.Instance) []Word {
 // BestCanonicalThroughput returns max(T*_ac(ω1), T*_ac(ω2)) together with
 // the winning word — the "blue line" series of the paper's Figure 19.
 func BestCanonicalThroughput(ins *platform.Instance) (float64, Word, error) {
-	ws := CanonicalWords(ins)
-	if len(ws) == 0 {
+	return BestCanonicalThroughputWithWorkspace(ins, nil)
+}
+
+// BestCanonicalThroughputWithWorkspace evaluates the canonical words on
+// reusable per-word scratch.
+func BestCanonicalThroughputWithWorkspace(ins *platform.Instance, ws *Workspace) (float64, Word, error) {
+	cands := CanonicalWords(ins)
+	if len(cands) == 0 {
 		return 0, nil, fmt.Errorf("core: instance %v admits no canonical word", ins)
 	}
 	bestT := -1.0
 	var bestW Word
-	for _, w := range ws {
-		if t := WordThroughput(ins, w); t > bestT {
+	for _, w := range cands {
+		if t := WordThroughputWithWorkspace(ins, w, ws); t > bestT {
 			bestT, bestW = t, w
 		}
 	}
@@ -111,9 +117,15 @@ func TheoremWord(ins *platform.Instance) (Word, error) {
 
 // TheoremWordThroughput evaluates the TheoremWord series.
 func TheoremWordThroughput(ins *platform.Instance) (float64, Word, error) {
+	return TheoremWordThroughputWithWorkspace(ins, nil)
+}
+
+// TheoremWordThroughputWithWorkspace evaluates the TheoremWord series on
+// reusable per-word scratch.
+func TheoremWordThroughputWithWorkspace(ins *platform.Instance, ws *Workspace) (float64, Word, error) {
 	w, err := TheoremWord(ins)
 	if err != nil {
 		return 0, nil, err
 	}
-	return WordThroughput(ins, w), w, nil
+	return WordThroughputWithWorkspace(ins, w, ws), w, nil
 }

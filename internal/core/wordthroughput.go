@@ -58,9 +58,18 @@ func WordFeasible(ins *platform.Instance, w Word, T float64) bool {
 // which is indistinguishable at float64 resolution and keeps the
 // average-case experiments (n = 1000, thousands of repetitions) fast.
 func WordThroughput(ins *platform.Instance, w Word) float64 {
+	return WordThroughputWithWorkspace(ins, w, nil)
+}
+
+// WordThroughputWithWorkspace is WordThroughput with the W(π)-candidate
+// scratch taken from ws, so per-word evaluation inside search and
+// enumeration loops stops allocating.
+func WordThroughputWithWorkspace(ins *platform.Instance, w Word, ws *Workspace) float64 {
 	if err := w.Validate(ins); err != nil {
 		panic(err)
 	}
+	ws = ws.ensure()
+	ws.stats.WordEvals++
 	if len(w) > wordExactCutoff {
 		return wordThroughputBisect(ins, w)
 	}
@@ -70,12 +79,9 @@ func WordThroughput(ins *platform.Instance, w Word) float64 {
 			best = v
 		}
 	}
-	// openAt[s] / guardedAt[s]: counts after each ○ position (W candidates).
-	type wCand struct {
-		iS, jS int
-		gSum   float64
-	}
-	var cands []wCand
+	// cands: counts after each ○ position (W candidates of Lemma 4.4).
+	cands := ws.cands[:0]
+	defer func() { ws.cands = cands[:0] }()
 	oSum := ins.B0 // S^O_i = b0 + b1 + ... + bi
 	gSum := 0.0    // S^G_j
 	i, j := 0, 0
@@ -94,7 +100,7 @@ func WordThroughput(ins *platform.Instance, w Word) float64 {
 			consider(oSum+gSum, i+j+1)
 			oSum += ins.OpenBW[i]
 			i++
-			cands = append(cands, wCand{iS: i, jS: j, gSum: gSum})
+			cands = append(cands, wCand{iS: i, gSum: gSum})
 		}
 	}
 	if math.IsInf(best, 1) {

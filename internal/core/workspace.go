@@ -1,0 +1,174 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/maxflow"
+	"repro/internal/platform"
+)
+
+// Workspace bundles every scratch buffer the hot constructive and
+// verification paths need — the max-flow solver state, the broadcast
+// target list, the BuildScheme supplier queues, the dichotomic search's
+// word double-buffer and the per-word evaluation candidates — so a
+// caller running thousands of solves (sweeps, Figure 7/19 grids) reuses
+// one set of allocations instead of re-allocating per call.
+//
+// Every exported ...WithWorkspace function accepts a nil workspace and
+// allocates a private one, so the plain wrappers (Throughput,
+// BuildScheme, OptimalAcyclicThroughput, ...) are one-line delegations
+// and no existing caller changes behavior.
+//
+// A Workspace is not safe for concurrent use; internal/engine pools one
+// per worker.
+type Workspace struct {
+	flow     maxflow.Workspace
+	targets  []int
+	openQ    []supplier
+	guardedQ []supplier
+	wordCur  Word // probe buffer for feasibility tests
+	wordBest Word // survivor buffer the search keeps across probes
+	cands    []wCand
+	edges    []graph.Edge
+	resid    []float64
+	poolA    []float64
+	poolB    []float64
+	pending  []pendingRate
+	stats    WorkspaceStats
+}
+
+// pendingRate is one uncommitted transfer of the guarded packer's peel.
+type pendingRate struct {
+	from, to int
+	r        float64
+}
+
+// wCand is one W(π)-candidate prefix of the Lemma 4.4 closed forms
+// (shared by WordThroughput and its workspace variant).
+type wCand struct {
+	iS   int
+	gSum float64
+}
+
+// WorkspaceStats counts the expensive inner evaluations routed through
+// a workspace. The engine reports the per-solve delta in Result.Evals,
+// making throughput-verification cost and scratch churn observable in
+// sweeps.
+type WorkspaceStats struct {
+	// FlowEvals is the number of s-t max-flow queries answered.
+	FlowEvals int64
+	// GreedyTests is the number of Algorithm 2 feasibility probes.
+	GreedyTests int64
+	// WordEvals is the number of per-word throughput evaluations.
+	WordEvals int64
+	// Builds is the number of scheme constructions.
+	Builds int64
+	// Grows is how many times a scratch buffer had to (re)allocate;
+	// zero across a warm run is the zero-allocation steady state.
+	Grows int64
+}
+
+// Sub returns s - prev, the evaluation cost between two snapshots.
+func (s WorkspaceStats) Sub(prev WorkspaceStats) WorkspaceStats {
+	return WorkspaceStats{
+		FlowEvals:   s.FlowEvals - prev.FlowEvals,
+		GreedyTests: s.GreedyTests - prev.GreedyTests,
+		WordEvals:   s.WordEvals - prev.WordEvals,
+		Builds:      s.Builds - prev.Builds,
+		Grows:       s.Grows - prev.Grows,
+	}
+}
+
+// Add returns the component-wise sum s + other (for sweep aggregation).
+func (s WorkspaceStats) Add(other WorkspaceStats) WorkspaceStats {
+	return WorkspaceStats{
+		FlowEvals:   s.FlowEvals + other.FlowEvals,
+		GreedyTests: s.GreedyTests + other.GreedyTests,
+		WordEvals:   s.WordEvals + other.WordEvals,
+		Builds:      s.Builds + other.Builds,
+		Grows:       s.Grows + other.Grows,
+	}
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Stats returns a snapshot of the cumulative evaluation counters
+// (including the flow solver's growth counter).
+func (ws *Workspace) Stats() WorkspaceStats {
+	if ws == nil {
+		return WorkspaceStats{}
+	}
+	s := ws.stats
+	s.FlowEvals = ws.flow.FlowEvals()
+	s.Grows += ws.flow.Grows()
+	return s
+}
+
+// ensure returns ws, or a fresh private workspace when ws is nil.
+func (ws *Workspace) ensure() *Workspace {
+	if ws == nil {
+		return NewWorkspace()
+	}
+	return ws
+}
+
+// broadcastTargets returns the node list {1, ..., total-1} — the
+// "every receiver" target set of the throughput functional, shared by
+// Throughput and ThroughputExact — reusing the workspace's buffer.
+func (ws *Workspace) broadcastTargets(total int) []int {
+	if cap(ws.targets) < total-1 {
+		ws.targets = make([]int, total-1)
+		ws.stats.Grows++
+	}
+	ws.targets = ws.targets[:total-1]
+	return fillBroadcastTargets(ws.targets)
+}
+
+// residFor returns the workspace's residual-capacity vector filled with
+// the instance's bandwidths in paper numbering.
+func (ws *Workspace) residFor(ins *platform.Instance) []float64 {
+	total := ins.Total()
+	if cap(ws.resid) < total {
+		ws.resid = make([]float64, total)
+		ws.stats.Grows++
+	}
+	ws.resid = ws.resid[:total]
+	for i := range ws.resid {
+		ws.resid[i] = ins.Bandwidth(i)
+	}
+	return ws.resid
+}
+
+// scratchWord returns the probe word buffer, emptied.
+func (ws *Workspace) scratchWord() Word { return ws.wordCur[:0] }
+
+// noteWordBuffer stores a probe's (possibly reallocated) buffer back as
+// the current word scratch, counting the regrowth.
+func (ws *Workspace) noteWordBuffer(w Word) {
+	if w == nil {
+		return
+	}
+	if cap(w) > cap(ws.wordCur) {
+		ws.stats.Grows++
+	}
+	ws.wordCur = w
+}
+
+// probeWord runs one Algorithm 2 feasibility test on the workspace's
+// probe buffer, bundling the counter and buffer bookkeeping every call
+// site needs. The returned word aliases the buffer: park it with
+// keepWord (or clone it) before the next probe if it must survive.
+func (ws *Workspace) probeWord(ins *platform.Instance, T float64) (Word, bool) {
+	ws.stats.GreedyTests++
+	w, ok := greedyTestInto(ins, T, ws.scratchWord())
+	ws.noteWordBuffer(w)
+	return w, ok
+}
+
+// keepWord marks the probe buffer's current content (w, which grew from
+// scratchWord) as the survivor: the buffers swap, so later probes write
+// into the other buffer and w stays intact until the next keepWord.
+func (ws *Workspace) keepWord(w Word) Word {
+	ws.wordCur, ws.wordBest = ws.wordBest, w
+	return w
+}

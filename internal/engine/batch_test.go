@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/distribution"
 	"repro/internal/generator"
 	"repro/internal/platform"
@@ -30,12 +31,16 @@ func sweepInstances(t testing.TB, count, nodes int) []*platform.Instance {
 	return out
 }
 
-// stripWall zeroes the only nondeterministic Result field so parallel
-// and serial outcomes can be compared exactly.
+// stripWall zeroes the nondeterministic Result fields — wall time and
+// the scratch-growth counter (growth depends on how warm the pooled
+// workspace happens to be) — so parallel and serial outcomes can be
+// compared exactly. Every other Evals counter is deterministic per
+// (solver, instance) and stays in the comparison.
 func stripWall(rs []Result) []Result {
 	out := append([]Result(nil), rs...)
 	for i := range out {
 		out[i].Wall = 0
+		out[i].Evals.Grows = 0
 	}
 	return out
 }
@@ -100,7 +105,7 @@ func TestBatchCancellationMidSweep(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var done atomic.Int64
 	blocker := NewSolver("blocker", CapHandlesGuarded,
-		func(ins *platform.Instance) (Result, error) {
+		func(ins *platform.Instance, _ *core.Workspace) (Result, error) {
 			if done.Add(1) == 10 {
 				cancel()
 			}
@@ -118,7 +123,7 @@ func TestBatchCancellationMidSweep(t *testing.T) {
 func TestBatchErrorAbortsAndReportsLowestIndex(t *testing.T) {
 	instances := sweepInstances(t, 100, 6)
 	boom := NewSolver("boom", CapHandlesGuarded,
-		func(ins *platform.Instance) (Result, error) {
+		func(ins *platform.Instance, _ *core.Workspace) (Result, error) {
 			return Result{}, fmt.Errorf("synthetic failure")
 		})
 	_, err := Batch(context.Background(), boom, instances, BatchOptions{Workers: 8})

@@ -98,6 +98,13 @@ type Result struct {
 	Edges int
 	// Wall is the wall-clock duration of the Solve call.
 	Wall time.Duration
+	// Evals counts the expensive inner evaluations behind this solve —
+	// max-flow queries, Algorithm 2 probes, per-word evaluations, scheme
+	// builds and scratch growths — as routed through the solver's
+	// workspace. Grows staying at zero across a warm sweep is the
+	// zero-allocation steady state; a regression shows up here before it
+	// shows up in -benchmem.
+	Evals core.WorkspaceStats
 }
 
 // Solver is one broadcast algorithm behind a uniform, context-aware
@@ -111,32 +118,60 @@ type Solver interface {
 	Solve(ctx context.Context, ins *platform.Instance) (Result, error)
 }
 
+// wsPool is the engine's workspace pool: Batch/ForEach workers (and any
+// direct Solve caller) reuse one warm core.Workspace per goroutine
+// across a whole sweep, so the per-instance evaluation pipeline reaches
+// its zero-allocation steady state after the first few solves.
+var wsPool = sync.Pool{New: func() any { return core.NewWorkspace() }}
+
+// AcquireWorkspace takes a workspace from the engine pool. Callers
+// running solver internals directly (the experiment drivers do) share
+// the same warm pool as the registry solvers; return it with
+// ReleaseWorkspace when done.
+func AcquireWorkspace() *core.Workspace { return wsPool.Get().(*core.Workspace) }
+
+// ReleaseWorkspace returns a workspace to the engine pool.
+func ReleaseWorkspace(ws *core.Workspace) {
+	if ws != nil {
+		wsPool.Put(ws)
+	}
+}
+
 // funcSolver adapts a plain function to the Solver interface.
 type funcSolver struct {
 	name  string
 	caps  Capability
-	solve func(*platform.Instance) (Result, error)
+	solve func(*platform.Instance, *core.Workspace) (Result, error)
 }
 
 // NewSolver wraps fn as a Solver. The engine adds the context entry
-// check, the name stamp and wall-clock timing around fn.
-func NewSolver(name string, caps Capability, fn func(*platform.Instance) (Result, error)) Solver {
+// check, the name stamp, wall-clock timing and workspace management
+// around fn: Solve hands fn a pooled workspace and records the
+// evaluation-counter delta in Result.Evals. fn may ignore the
+// workspace; it must not retain it past the call.
+func NewSolver(name string, caps Capability, fn func(*platform.Instance, *core.Workspace) (Result, error)) Solver {
 	return &funcSolver{name: name, caps: caps, solve: fn}
 }
 
 func (f *funcSolver) Name() string             { return f.name }
 func (f *funcSolver) Capabilities() Capability { return f.caps }
 func (f *funcSolver) Solve(ctx context.Context, ins *platform.Instance) (Result, error) {
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	return f.solveWith(ctx, ins, ws)
+}
+
+func (f *funcSolver) solveWith(ctx context.Context, ins *platform.Instance, ws *core.Workspace) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	before := ws.Stats()
 	start := time.Now()
-	res, err := f.solve(ins)
+	res, err := f.solve(ins, ws)
 	if err != nil {
 		return Result{}, fmt.Errorf("%s: %w", f.name, err)
 	}
 	res.Solver = f.name
-	res.Wall = time.Since(start)
 	if res.Scheme != nil {
 		res.Edges = res.Scheme.NumEdges()
 		res.MaxOutDegree = res.Scheme.MaxOutDegree()
@@ -144,7 +179,20 @@ func (f *funcSolver) Solve(ctx context.Context, ins *platform.Instance) (Result,
 			_, res.MaxDegreeSlack = res.Scheme.DegreeSlack(res.Throughput)
 		}
 	}
+	res.Evals = ws.Stats().Sub(before)
+	res.Wall = time.Since(start)
 	return res, nil
+}
+
+// SolveIsolated runs s on a dedicated, never-pooled workspace — the
+// reference path the pooled path is validated against (pooled and
+// isolated solves must be byte-identical; see the equivalence tests).
+// Solvers not created by NewSolver fall back to their own Solve.
+func SolveIsolated(ctx context.Context, s Solver, ins *platform.Instance) (Result, error) {
+	if f, ok := s.(*funcSolver); ok {
+		return f.solveWith(ctx, ins, core.NewWorkspace())
+	}
+	return s.Solve(ctx, ins)
 }
 
 // Registry is a named catalogue of solvers.

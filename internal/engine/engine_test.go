@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/generator"
 	"repro/internal/platform"
 )
@@ -31,14 +32,14 @@ func TestDefaultRegistryNames(t *testing.T) {
 
 func TestRegistryRejectsDuplicatesAndAnonymous(t *testing.T) {
 	r := NewRegistry()
-	s := NewSolver("x", 0, func(*platform.Instance) (Result, error) { return Result{}, nil })
+	s := NewSolver("x", 0, func(*platform.Instance, *core.Workspace) (Result, error) { return Result{}, nil })
 	if err := r.Register(s); err != nil {
 		t.Fatalf("first Register: %v", err)
 	}
 	if err := r.Register(s); err == nil {
 		t.Fatal("duplicate Register accepted")
 	}
-	anon := NewSolver("", 0, func(*platform.Instance) (Result, error) { return Result{}, nil })
+	anon := NewSolver("", 0, func(*platform.Instance, *core.Workspace) (Result, error) { return Result{}, nil })
 	if err := r.Register(anon); err == nil {
 		t.Fatal("anonymous Register accepted")
 	}

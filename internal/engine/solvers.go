@@ -19,11 +19,14 @@ import (
 //	exhaustive     brute-force word enumeration (small instances)
 //	depth          dichotomic search + depth-aware builder (delay ablation)
 //	oneport        degree-1 pipeline baseline (open-only ablation)
+//
+// Every solver runs its core hot path through the engine-pooled
+// workspace it receives, so sweeps reuse scratch across instances.
 func init() {
 	Default.MustRegister(NewSolver("acyclic",
 		CapExact|CapHandlesGuarded|CapBuildsScheme,
-		func(ins *platform.Instance) (Result, error) {
-			T, s, err := core.SolveAcyclic(ins)
+		func(ins *platform.Instance, ws *core.Workspace) (Result, error) {
+			T, s, err := core.SolveAcyclicWithWorkspace(ins, ws)
 			if err != nil {
 				return Result{}, err
 			}
@@ -32,8 +35,8 @@ func init() {
 
 	Default.MustRegister(NewSolver("acyclic-search",
 		CapExact|CapHandlesGuarded,
-		func(ins *platform.Instance) (Result, error) {
-			T, w, err := core.OptimalAcyclicThroughput(ins)
+		func(ins *platform.Instance, ws *core.Workspace) (Result, error) {
+			T, w, err := core.OptimalAcyclicThroughputWithWorkspace(ins, ws)
 			if err != nil {
 				return Result{}, err
 			}
@@ -42,7 +45,7 @@ func init() {
 
 	Default.MustRegister(NewSolver("acyclic-open",
 		CapExact|CapBuildsScheme,
-		func(ins *platform.Instance) (Result, error) {
+		func(ins *platform.Instance, ws *core.Workspace) (Result, error) {
 			if ins.M() > 0 {
 				return Result{}, fmt.Errorf("requires an open-only instance (m = %d)", ins.M())
 			}
@@ -56,14 +59,14 @@ func init() {
 
 	Default.MustRegister(NewSolver("cyclic-bound",
 		CapExact|CapHandlesGuarded|CapCyclic,
-		func(ins *platform.Instance) (Result, error) {
+		func(ins *platform.Instance, _ *core.Workspace) (Result, error) {
 			return Result{Throughput: core.OptimalCyclicThroughput(ins)}, nil
 		}))
 
 	Default.MustRegister(NewSolver("cyclic-open",
 		CapExact|CapBuildsScheme|CapCyclic,
-		func(ins *platform.Instance) (Result, error) {
-			T, s, err := core.SolveCyclicOpen(ins)
+		func(ins *platform.Instance, ws *core.Workspace) (Result, error) {
+			T, s, err := core.SolveCyclicOpenWithWorkspace(ins, ws)
 			if err != nil {
 				return Result{}, err
 			}
@@ -72,8 +75,8 @@ func init() {
 
 	Default.MustRegister(NewSolver("cyclic-pack",
 		CapHandlesGuarded|CapBuildsScheme|CapCyclic|CapAnytime,
-		func(ins *platform.Instance) (Result, error) {
-			s, achieved, err := core.PackCyclicGuarded(ins, core.OptimalCyclicThroughput(ins))
+		func(ins *platform.Instance, ws *core.Workspace) (Result, error) {
+			s, achieved, err := core.PackCyclicGuardedWithWorkspace(ins, core.OptimalCyclicThroughput(ins), ws)
 			if err != nil {
 				return Result{}, err
 			}
@@ -82,37 +85,40 @@ func init() {
 
 	Default.MustRegister(NewSolver("greedy",
 		CapHandlesGuarded|CapBuildsScheme|CapAnytime,
-		func(ins *platform.Instance) (Result, error) {
-			T, w, err := core.BestCanonicalThroughput(ins)
+		func(ins *platform.Instance, ws *core.Workspace) (Result, error) {
+			T, w, err := core.BestCanonicalThroughputWithWorkspace(ins, ws)
 			if err != nil {
 				return Result{}, err
 			}
-			return buildWord(ins, w, T, core.BuildScheme)
+			return buildWord(ins, w, T, ws, core.BuildSchemeWithWorkspace)
 		}))
 
 	Default.MustRegister(NewSolver("exhaustive",
 		CapExact|CapHandlesGuarded|CapBuildsScheme,
-		func(ins *platform.Instance) (Result, error) {
+		func(ins *platform.Instance, ws *core.Workspace) (Result, error) {
 			T, w, err := core.ExhaustiveAcyclicOptimumFloat(ins)
 			if err != nil {
 				return Result{}, err
 			}
-			return buildWord(ins, w, T, core.BuildScheme)
+			return buildWord(ins, w, T, ws, core.BuildSchemeWithWorkspace)
 		}))
 
 	Default.MustRegister(NewSolver("depth",
 		CapExact|CapHandlesGuarded|CapBuildsScheme,
-		func(ins *platform.Instance) (Result, error) {
-			T, w, err := core.OptimalAcyclicThroughput(ins)
+		func(ins *platform.Instance, ws *core.Workspace) (Result, error) {
+			T, w, err := core.OptimalAcyclicThroughputWithWorkspace(ins, ws)
 			if err != nil {
 				return Result{}, err
 			}
-			return buildWord(ins, w, T, core.BuildSchemeDepthAware)
+			return buildWord(ins, w, T, ws,
+				func(ins *platform.Instance, w core.Word, T float64, _ *core.Workspace) (*core.Scheme, error) {
+					return core.BuildSchemeDepthAware(ins, w, T)
+				})
 		}))
 
 	Default.MustRegister(NewSolver("oneport",
 		CapBuildsScheme|CapAnytime,
-		func(ins *platform.Instance) (Result, error) {
+		func(ins *platform.Instance, _ *core.Workspace) (Result, error) {
 			T, s, err := core.OnePortChainScheme(ins)
 			if err != nil {
 				return Result{}, err
@@ -124,11 +130,12 @@ func init() {
 // buildWord materializes word w at throughput T, retrying a hair below T
 // when float dust makes the exact optimum infeasible (same policy as
 // core.SolveAcyclic).
-func buildWord(ins *platform.Instance, w core.Word, T float64, build func(*platform.Instance, core.Word, float64) (*core.Scheme, error)) (Result, error) {
-	s, err := build(ins, w, T)
+func buildWord(ins *platform.Instance, w core.Word, T float64, ws *core.Workspace,
+	build func(*platform.Instance, core.Word, float64, *core.Workspace) (*core.Scheme, error)) (Result, error) {
+	s, err := build(ins, w, T, ws)
 	if err != nil {
 		shaved := T * (1 - 1e-12)
-		s, err = build(ins, w, shaved)
+		s, err = build(ins, w, shaved, ws)
 		if err != nil {
 			return Result{}, err
 		}

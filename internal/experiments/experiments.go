@@ -240,7 +240,12 @@ func avgCaseCell(ctx context.Context, dist distribution.Distribution, p float64,
 	thmR := make([]float64, reps)
 
 	err := engine.ForEach(ctx, reps, workers, func(_ context.Context, rep int) error {
-		return avgCaseOne(dist, p, n, RepRNG(seed, rep, n, p), &optR[rep], &omegaR[rep], &thmR[rep])
+		// One pooled workspace per repetition: sync.Pool hands each
+		// worker goroutine its warm workspace back, so a whole cell
+		// reuses a few workspaces instead of allocating per repetition.
+		ws := engine.AcquireWorkspace()
+		defer engine.ReleaseWorkspace(ws)
+		return avgCaseOne(dist, p, n, RepRNG(seed, rep, n, p), ws, &optR[rep], &omegaR[rep], &thmR[rep])
 	})
 	if err != nil {
 		return AvgCaseCell{}, err
@@ -253,7 +258,7 @@ func avgCaseCell(ctx context.Context, dist distribution.Distribution, p float64,
 	}, nil
 }
 
-func avgCaseOne(dist distribution.Distribution, p float64, n int, rng *rand.Rand, opt, omega, thm *float64) error {
+func avgCaseOne(dist distribution.Distribution, p float64, n int, rng *rand.Rand, ws *core.Workspace, opt, omega, thm *float64) error {
 	ins, err := generator.Random(dist, n, p, rng)
 	if err != nil {
 		return err
@@ -262,17 +267,17 @@ func avgCaseOne(dist distribution.Distribution, p float64, n int, rng *rand.Rand
 	if tstar <= 0 {
 		return fmt.Errorf("experiments: degenerate instance with T* = %v", tstar)
 	}
-	tac, _, err := core.OptimalAcyclicThroughput(ins)
+	tac, _, err := core.OptimalAcyclicThroughputWithWorkspace(ins, ws)
 	if err != nil {
 		return err
 	}
 	*opt = tac / tstar
-	best, _, err := core.BestCanonicalThroughput(ins)
+	best, _, err := core.BestCanonicalThroughputWithWorkspace(ins, ws)
 	if err != nil {
 		return err
 	}
 	*omega = best / tstar
-	tw, _, err := core.TheoremWordThroughput(ins)
+	tw, _, err := core.TheoremWordThroughputWithWorkspace(ins, ws)
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,12 @@
 //     harness (thousands of nodes);
 //   - Edmonds–Karp on *big.Rat capacities — exact path used by tests and
 //     the exhaustive optimizer, immune to rounding noise.
+//
+// The float64 path is built for repeated evaluation: every edge carries
+// its original capacity alongside the residual, so Reset restores a
+// consumed network in place, and a Workspace holds the BFS/DFS scratch
+// (plus a reusable Network) so thousands of throughput evaluations run
+// with zero steady-state allocations.
 package maxflow
 
 import (
@@ -22,9 +28,10 @@ import (
 const Eps = 1e-9
 
 type edge struct {
-	to  int
-	cap float64
-	rev int // index of the reverse edge in adj[to]
+	to   int
+	cap  float64 // residual capacity, consumed by Max
+	init float64 // original capacity, restored by Reset
+	rev  int     // index of the reverse edge in adj[to]
 }
 
 // Network is a flow network on nodes 0..n-1 with float64 capacities.
@@ -38,27 +45,61 @@ func NewNetwork(n int) *Network {
 	return &Network{n: n, adj: make([][]edge, n)}
 }
 
+// N returns the number of nodes.
+func (g *Network) N() int { return g.n }
+
 // AddEdge adds a directed edge with the given capacity. Non-positive
 // capacities are ignored.
 func (g *Network) AddEdge(from, to int, cap float64) {
 	if cap <= 0 || from == to {
 		return
 	}
-	g.adj[from] = append(g.adj[from], edge{to: to, cap: cap, rev: len(g.adj[to])})
-	g.adj[to] = append(g.adj[to], edge{to: from, cap: 0, rev: len(g.adj[from]) - 1})
+	g.adj[from] = append(g.adj[from], edge{to: to, cap: cap, init: cap, rev: len(g.adj[to])})
+	g.adj[to] = append(g.adj[to], edge{to: from, cap: 0, init: 0, rev: len(g.adj[from]) - 1})
+}
+
+// Reset restores every residual capacity to its original value, undoing
+// all flow pushed by Max since construction. It makes repeated queries
+// on one network allocation-free where Clone-per-query used to be
+// required.
+func (g *Network) Reset() {
+	for i := range g.adj {
+		for j := range g.adj[i] {
+			g.adj[i][j].cap = g.adj[i][j].init
+		}
+	}
 }
 
 // Max computes the maximum flow from s to t with Dinic's algorithm.
-// The network's residual capacities are consumed: call Max once per
-// Network (clone the network for repeated queries).
+// The network's residual capacities are consumed: Reset the network (or
+// use a Workspace) for repeated queries.
 func (g *Network) Max(s, t int) float64 {
+	var w Workspace
+	return g.maxBounded(s, t, math.Inf(1), &w)
+}
+
+// MaxBounded is Max with an early-exit bound: the search stops as soon
+// as the accumulated flow reaches bound, returning that partial total.
+// Callers computing min-over-targets use the running minimum as the
+// bound — a target whose flow provably meets it cannot lower the min,
+// so its exact value is irrelevant.
+func (g *Network) MaxBounded(s, t int, bound float64) float64 {
+	var w Workspace
+	return g.maxBounded(s, t, bound, &w)
+}
+
+// maxBounded runs bounded Dinic using w's scratch slices.
+func (g *Network) maxBounded(s, t int, bound float64, w *Workspace) float64 {
 	if s == t {
 		return math.Inf(1)
 	}
+	if bound <= 0 {
+		return 0
+	}
+	level := w.ints(&w.level, g.n)
+	iter := w.ints(&w.iter, g.n)
+	queue := w.ints(&w.queue, g.n)[:0]
 	var total float64
-	level := make([]int, g.n)
-	iter := make([]int, g.n)
-	queue := make([]int, 0, g.n)
 	for {
 		// BFS layering.
 		for i := range level {
@@ -88,6 +129,9 @@ func (g *Network) Max(s, t int) float64 {
 				break
 			}
 			total += f
+			if total >= bound {
+				return total
+			}
 		}
 	}
 }
@@ -122,22 +166,12 @@ func (g *Network) Clone() *Network {
 }
 
 // MinFromSource returns min over targets of maxflow(s→target). This is
-// the paper's throughput functional. Targets with target == s are skipped.
+// the paper's throughput functional. Targets with target == s are
+// skipped. The network is left with its original capacities (queries
+// run on in-place Reset instead of per-target clones).
 func (g *Network) MinFromSource(s int, targets []int) float64 {
-	minFlow := math.Inf(1)
-	for _, t := range targets {
-		if t == s {
-			continue
-		}
-		f := g.Clone().Max(s, t)
-		if f < minFlow {
-			minFlow = f
-		}
-	}
-	if math.IsInf(minFlow, 1) {
-		return 0
-	}
-	return minFlow
+	var w Workspace
+	return w.MinFromSource(g, s, targets)
 }
 
 // ---------------------------------------------------------------------------

@@ -53,6 +53,29 @@ type Instance struct {
 	OpenBW []float64
 	// GuardedBW holds the guarded nodes' bandwidths, sorted non-increasing.
 	GuardedBW []float64
+
+	// Prefix-sum caches making OpenPrefix, GuardedPrefix, SumOpen and
+	// SumGuarded O(1) — they sit under the search and packing inner
+	// loops. srcPre[k] = S_k = b0 + OpenBW[0] + ... + OpenBW[k-1] and
+	// openSum[k] = OpenBW[0] + ... + OpenBW[k-1] are kept separately so
+	// each accessor returns bit-identical values to the summation loops
+	// it replaces (float addition is order-sensitive). Built by
+	// NewInstance; instances assembled field-by-field (tests) fall back
+	// to summation.
+	srcPre     []float64
+	openSum    []float64
+	guardedPre []float64
+}
+
+// prefixSums returns [seed, seed+v0, seed+v0+v1, ...] (len(bs)+1
+// entries), accumulated left to right.
+func prefixSums(seed float64, bs []float64) []float64 {
+	pre := make([]float64, len(bs)+1)
+	pre[0] = seed
+	for i, v := range bs {
+		pre[i+1] = pre[i] + v
+	}
+	return pre
 }
 
 // NewInstance builds an instance, copying and sorting the bandwidth
@@ -92,6 +115,9 @@ func NewInstance(b0 float64, open, guarded []float64) (*Instance, error) {
 	}
 	sort.Sort(sort.Reverse(sort.Float64Slice(ins.OpenBW)))
 	sort.Sort(sort.Reverse(sort.Float64Slice(ins.GuardedBW)))
+	ins.srcPre = prefixSums(ins.B0, ins.OpenBW)
+	ins.openSum = prefixSums(0, ins.OpenBW)
+	ins.guardedPre = prefixSums(0, ins.GuardedBW)
 	return ins, nil
 }
 
@@ -151,8 +177,12 @@ func (ins *Instance) Bandwidths() []float64 {
 	return bs
 }
 
-// SumOpen returns O = Σ_{i=1..n} b_i (source excluded).
+// SumOpen returns O = Σ_{i=1..n} b_i (source excluded); O(1) on
+// instances built by NewInstance.
 func (ins *Instance) SumOpen() float64 {
+	if ins.openSum != nil {
+		return ins.openSum[len(ins.openSum)-1]
+	}
 	var s float64
 	for _, v := range ins.OpenBW {
 		s += v
@@ -160,8 +190,12 @@ func (ins *Instance) SumOpen() float64 {
 	return s
 }
 
-// SumGuarded returns G = Σ_{i=n+1..n+m} b_i.
+// SumGuarded returns G = Σ_{i=n+1..n+m} b_i; O(1) on instances built by
+// NewInstance.
 func (ins *Instance) SumGuarded() float64 {
+	if ins.guardedPre != nil {
+		return ins.guardedPre[len(ins.guardedPre)-1]
+	}
 	var s float64
 	for _, v := range ins.GuardedBW {
 		s += v
@@ -170,10 +204,15 @@ func (ins *Instance) SumGuarded() float64 {
 }
 
 // OpenPrefix returns S_k = b_0 + b_1 + ... + b_k for k in [0, n]
-// (paper notation from Section III-B).
+// (paper notation from Section III-B). O(1) on instances built by
+// NewInstance (the prefix sums are cached — this accessor sits in the
+// dichotomic search's inner loop).
 func (ins *Instance) OpenPrefix(k int) float64 {
 	if k < 0 || k > ins.N() {
 		panic(fmt.Sprintf("platform: OpenPrefix(%d) out of range [0,%d]", k, ins.N()))
+	}
+	if ins.srcPre != nil {
+		return ins.srcPre[k]
 	}
 	s := ins.B0
 	for i := 0; i < k; i++ {
@@ -182,10 +221,14 @@ func (ins *Instance) OpenPrefix(k int) float64 {
 	return s
 }
 
-// GuardedPrefix returns b_{n+1} + ... + b_{n+k} for k in [0, m].
+// GuardedPrefix returns b_{n+1} + ... + b_{n+k} for k in [0, m]; O(1)
+// on instances built by NewInstance.
 func (ins *Instance) GuardedPrefix(k int) float64 {
 	if k < 0 || k > ins.M() {
 		panic(fmt.Sprintf("platform: GuardedPrefix(%d) out of range [0,%d]", k, ins.M()))
+	}
+	if ins.guardedPre != nil {
+		return ins.guardedPre[k]
 	}
 	var s float64
 	for i := 0; i < k; i++ {

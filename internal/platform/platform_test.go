@@ -136,6 +136,62 @@ func TestValidateDetectsUnsorted(t *testing.T) {
 	}
 }
 
+// TestPrefixCacheMatchesSummation: the O(1) cached accessors return
+// bit-identical values to the summation loops they replaced (compared
+// against a cache-less instance assembled field-by-field).
+func TestPrefixCacheMatchesSummation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		n, m := rng.Intn(15), rng.Intn(15)
+		open := make([]float64, n)
+		for i := range open {
+			open[i] = rng.Float64() * 100
+		}
+		guarded := make([]float64, m)
+		for i := range guarded {
+			guarded[i] = rng.Float64() * 100
+		}
+		cached := MustInstance(1+rng.Float64()*10, open, guarded)
+		// Same sorted data without caches: the fallback summation path.
+		plain := &Instance{B0: cached.B0, OpenBW: cached.OpenBW, GuardedBW: cached.GuardedBW}
+		for k := 0; k <= n; k++ {
+			if got, want := cached.OpenPrefix(k), plain.OpenPrefix(k); got != want {
+				t.Fatalf("trial %d: OpenPrefix(%d) cached %v != summed %v", trial, k, got, want)
+			}
+		}
+		for k := 0; k <= m; k++ {
+			if got, want := cached.GuardedPrefix(k), plain.GuardedPrefix(k); got != want {
+				t.Fatalf("trial %d: GuardedPrefix(%d) cached %v != summed %v", trial, k, got, want)
+			}
+		}
+		if cached.SumOpen() != plain.SumOpen() || cached.SumGuarded() != plain.SumGuarded() {
+			t.Fatalf("trial %d: cached sums diverge from summation", trial)
+		}
+	}
+	// JSON round-trip re-establishes the caches.
+	ins := MustInstance(6, []float64{5, 5}, []float64{4, 1, 1})
+	data, err := json.Marshal(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Instance
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.srcPre == nil || back.openSum == nil || back.guardedPre == nil {
+		t.Fatal("UnmarshalJSON did not rebuild the prefix caches")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = ins.OpenPrefix(2)
+		_ = ins.GuardedPrefix(2)
+		_ = ins.SumOpen()
+		_ = ins.SumGuarded()
+	})
+	if allocs != 0 {
+		t.Fatalf("cached accessors allocate %.1f/op, want 0", allocs)
+	}
+}
+
 // TestQuickPrefixConsistency: OpenPrefix(n) = b0 + SumOpen and prefixes
 // are monotone, for random instances.
 func TestQuickPrefixConsistency(t *testing.T) {

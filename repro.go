@@ -97,6 +97,38 @@ func SolveBatch(ctx context.Context, solver string, instances []*Instance, opts 
 }
 
 // ---------------------------------------------------------------------------
+// Reusable evaluation workspaces
+
+// Workspace bundles the scratch state of the evaluation pipeline (flow
+// solver, supplier queues, word buffers); the ...WithWorkspace variants
+// reuse it across calls so steady-state evaluation allocates nothing.
+// Not safe for concurrent use — the engine pools one per worker.
+type Workspace = core.Workspace
+
+// WorkspaceStats counts the expensive inner evaluations routed through
+// a workspace (also surfaced per solve as SolveResult.Evals).
+type WorkspaceStats = core.WorkspaceStats
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return core.NewWorkspace() }
+
+// SolveAcyclicWithWorkspace is SolveAcyclic on reusable scratch.
+func SolveAcyclicWithWorkspace(ins *Instance, ws *Workspace) (float64, *Scheme, error) {
+	return core.SolveAcyclicWithWorkspace(ins, ws)
+}
+
+// OptimalAcyclicThroughputWithWorkspace is OptimalAcyclicThroughput on
+// reusable scratch.
+func OptimalAcyclicThroughputWithWorkspace(ins *Instance, ws *Workspace) (float64, Word, error) {
+	return core.OptimalAcyclicThroughputWithWorkspace(ins, ws)
+}
+
+// BuildSchemeWithWorkspace is BuildScheme on reusable scratch.
+func BuildSchemeWithWorkspace(ins *Instance, w Word, T float64, ws *Workspace) (*Scheme, error) {
+	return core.BuildSchemeWithWorkspace(ins, w, T, ws)
+}
+
+// ---------------------------------------------------------------------------
 // Schemes and throughput bounds
 
 // Scheme is a broadcast scheme: the rate matrix {c_ij} with bandwidth and
