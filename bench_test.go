@@ -35,6 +35,7 @@ import (
 	"repro/internal/generator"
 	"repro/internal/massoulie"
 	"repro/internal/schedule"
+	"repro/internal/sim"
 	"repro/internal/trees"
 )
 
@@ -170,6 +171,35 @@ func BenchmarkBatchSweep(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkChurnResolve measures solve latency *under change* — the
+// dynamic-platform workload: a 50-event churn trace replayed against a
+// live instance, re-solving after every event. The repair variant
+// warm-starts each event from the previous solution on a session
+// workspace; the fullsolve variant re-runs the dichotomic search from
+// scratch (also on a warm workspace, isolating the algorithmic win
+// from the allocation win).
+func BenchmarkChurnResolve(b *testing.B) {
+	trace, err := sim.GenerateTrace(sim.TraceConfig{Nodes: 40, POpen: 0.7, Events: 50, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	run := func(b *testing.B, noRepair bool) {
+		b.ReportAllocs()
+		var probes int64
+		for i := 0; i < b.N; i++ {
+			tl, err := sim.Run(ctx, trace, sim.RunConfig{Solvers: []string{"acyclic"}, NoRepair: noRepair})
+			if err != nil {
+				b.Fatal(err)
+			}
+			probes = tl.Stats["acyclic"].Evals.GreedyTests
+		}
+		b.ReportMetric(float64(probes)/float64(len(trace.Events)+1), "probes/event")
+	}
+	b.Run("repair", func(b *testing.B) { run(b, false) })
+	b.Run("fullsolve", func(b *testing.B) { run(b, true) })
 }
 
 // ---------------------------------------------------------------------------

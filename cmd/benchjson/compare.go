@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Regression gating: `benchjson -compare old.json new.json` pairs the
+// two documents' results by stable benchmark name (plus CPU count when
+// both sides recorded one) and fails when a benchmark got more than
+// `-threshold` percent worse on ns/op or allocs/op, or disappeared —
+// a silently dropped benchmark is a coverage regression, not a pass.
+
+// regression describes one gate violation.
+type regression struct {
+	Key    string
+	Reason string
+}
+
+// compareDocs pairs old and new results and returns the human report
+// plus the regressions. thresholdPct is the allowed relative increase.
+func compareDocs(oldDoc, newDoc *Doc, thresholdPct float64) (string, []regression) {
+	type pair struct {
+		old, cur *Result
+	}
+	// Index new results by name+cpus and by bare name (for pairing a
+	// 1-CPU baseline against a multi-CPU run and vice versa).
+	byKey := make(map[string]*Result)
+	byName := make(map[string][]*Result)
+	for i := range newDoc.Results {
+		r := &newDoc.Results[i]
+		byKey[resultKey(*r)] = r
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+
+	var regs []regression
+	var rows []string
+	seen := make(map[*Result]bool)
+	for i := range oldDoc.Results {
+		o := &oldDoc.Results[i]
+		n := byKey[resultKey(*o)]
+		if n == nil && len(byName[o.Name]) > 0 {
+			n = byName[o.Name][0]
+		}
+		if n == nil {
+			regs = append(regs, regression{o.Name, "missing from the new run"})
+			rows = append(rows, fmt.Sprintf("%-44s MISSING (baseline %s)", resultKey(*o), fmtNs(o.NsPerOp)))
+			continue
+		}
+		seen[n] = true
+		p := pair{o, n}
+
+		nsDelta := relDelta(p.old.NsPerOp, p.cur.NsPerOp)
+		allocDelta := relDelta(float64(p.old.AllocsPerOp), float64(p.cur.AllocsPerOp))
+		verdict := "ok"
+		if exceeds(p.old.NsPerOp, p.cur.NsPerOp, thresholdPct) {
+			verdict = "REGRESSION ns/op"
+			regs = append(regs, regression{resultKey(*o), fmt.Sprintf("ns/op %+.1f%% (%s → %s)", nsDelta, fmtNs(o.NsPerOp), fmtNs(n.NsPerOp))})
+		}
+		if exceeds(float64(p.old.AllocsPerOp), float64(p.cur.AllocsPerOp), thresholdPct) {
+			if verdict == "ok" {
+				verdict = "REGRESSION allocs/op"
+			} else {
+				verdict += "+allocs/op"
+			}
+			regs = append(regs, regression{resultKey(*o), fmt.Sprintf("allocs/op %+.1f%% (%d → %d)", allocDelta, o.AllocsPerOp, n.AllocsPerOp)})
+		}
+		rows = append(rows, fmt.Sprintf("%-44s %12s → %12s (%+6.1f%%)  allocs %6d → %6d (%+6.1f%%)  %s",
+			resultKey(*o), fmtNs(o.NsPerOp), fmtNs(n.NsPerOp), nsDelta,
+			o.AllocsPerOp, n.AllocsPerOp, allocDelta, verdict))
+	}
+	for i := range newDoc.Results {
+		r := &newDoc.Results[i]
+		if !seen[r] && lookupOld(oldDoc, r.Name) == nil {
+			rows = append(rows, fmt.Sprintf("%-44s %12s (new benchmark, no baseline)", resultKey(*r), fmtNs(r.NsPerOp)))
+		}
+	}
+	sort.Strings(rows)
+
+	report := fmt.Sprintf("benchjson compare: %d baseline benchmarks, threshold %.0f%%\n", len(oldDoc.Results), thresholdPct)
+	for _, row := range rows {
+		report += row + "\n"
+	}
+	return report, regs
+}
+
+// resultKey is the pairing key: the stable name, plus the CPU count
+// when recorded (so a -cpu matrix run compares like against like).
+func resultKey(r Result) string {
+	if r.CPUs > 0 {
+		return fmt.Sprintf("%s-%d", r.Name, r.CPUs)
+	}
+	return r.Name
+}
+
+func lookupOld(doc *Doc, name string) *Result {
+	for i := range doc.Results {
+		if doc.Results[i].Name == name {
+			return &doc.Results[i]
+		}
+	}
+	return nil
+}
+
+// exceeds reports whether cur is a regression over old beyond the
+// threshold. A zero baseline (the zero-alloc steady state) regresses
+// on any nonzero value — relative slack is meaningless there, the
+// counters are deterministic, and losing the zero is exactly what the
+// gate must catch.
+func exceeds(old, cur float64, thresholdPct float64) bool {
+	if old <= 0 {
+		return cur > 0
+	}
+	return cur > old*(1+thresholdPct/100)
+}
+
+// relDelta is the percent change from old to cur (0 when old is 0).
+func relDelta(old, cur float64) float64 {
+	if old <= 0 {
+		return 0
+	}
+	return (cur - old) / old * 100
+}
+
+// fmtNs renders ns/op human-readably.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+// loadDoc reads a benchmark JSON artifact.
+func loadDoc(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// runCompare is the -compare entry point; returns the process exit
+// code (0 pass, 1 regression, 2 usage/IO error).
+func runCompare(oldPath, newPath string, thresholdPct float64, stdout, stderr io.Writer) int {
+	oldDoc, err := loadDoc(oldPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	newDoc, err := loadDoc(newPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	if len(oldDoc.Results) == 0 {
+		fmt.Fprintln(stderr, "benchjson: baseline has no results")
+		return 2
+	}
+	report, regs := compareDocs(oldDoc, newDoc, thresholdPct)
+	fmt.Fprint(stdout, report)
+	if len(regs) > 0 {
+		fmt.Fprintf(stderr, "benchjson: %d regression(s) beyond %.0f%%:\n", len(regs), thresholdPct)
+		for _, r := range regs {
+			fmt.Fprintf(stderr, "  %s: %s\n", r.Key, r.Reason)
+		}
+		return 1
+	}
+	fmt.Fprintln(stdout, "benchjson compare: PASS")
+	return 0
+}

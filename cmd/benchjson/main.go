@@ -1,19 +1,29 @@
 // Command benchjson converts `go test -bench -benchmem` text output
 // into a JSON document, so CI can upload benchmark runs as machine-
 // readable artifacts (BENCH_*.json) and the performance trajectory can
-// be tracked across PRs.
+// be tracked across PRs — and compares two such documents, failing on
+// regressions, so CI can gate on the committed baseline.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson > BENCH.json
+//	go run ./cmd/benchjson -compare BENCH_baseline.json BENCH_new.json [-threshold 25]
 //
-// Lines that are not benchmark results (goos/goarch/cpu headers, PASS,
-// package summaries) populate the metadata section or are skipped.
+// In convert mode, lines that are not benchmark results (goos/goarch/
+// cpu headers, PASS, package summaries) populate the metadata section
+// or are skipped. The `-N` GOMAXPROCS suffix Go appends to benchmark
+// names is parsed into the separate "cpus" field, so the "name" key is
+// stable across -cpu matrix runs and directly comparable.
+//
+// In compare mode the exit status is 1 when any benchmark present in
+// the old document regresses by more than the threshold (percent, on
+// ns/op or allocs/op) or is missing from the new document.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -24,6 +34,7 @@ import (
 // Result is one parsed benchmark line.
 type Result struct {
 	Name        string             `json:"name"`
+	CPUs        int                `json:"cpus,omitempty"`
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
@@ -41,6 +52,18 @@ type Doc struct {
 }
 
 func main() {
+	compareMode := flag.Bool("compare", false, "compare two benchmark JSON files (old new) and exit 1 on regression")
+	threshold := flag.Float64("threshold", 25, "regression threshold in percent (ns/op and allocs/op)")
+	flag.Parse()
+
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout, os.Stderr))
+	}
+
 	doc, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -55,9 +78,15 @@ func main() {
 }
 
 // Parse reads `go test -bench` output and collects benchmark results
-// and run metadata.
+// and run metadata. Repeated samples of the same benchmark (from
+// `-count N`) are merged keeping the per-metric minimum — the
+// noise-robust statistic for timing (the fastest run is the least
+// scheduler-disturbed one), and a no-op for the deterministic alloc
+// counters — so the regression gate compares best-of-N against
+// best-of-N instead of single noisy samples.
 func Parse(r io.Reader) (*Doc, error) {
 	doc := &Doc{}
+	index := make(map[string]int) // resultKey → position in doc.Results
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -73,7 +102,13 @@ func Parse(r io.Reader) (*Doc, error) {
 			doc.Pkg = append(doc.Pkg, strings.TrimSpace(strings.TrimPrefix(line, "pkg:")))
 		case strings.HasPrefix(line, "Benchmark"):
 			res, ok := parseBenchLine(line)
-			if ok {
+			if !ok {
+				break
+			}
+			if at, dup := index[resultKey(res)]; dup {
+				doc.Results[at] = mergeMin(doc.Results[at], res)
+			} else {
+				index[resultKey(res)] = len(doc.Results)
 				doc.Results = append(doc.Results, res)
 			}
 		}
@@ -82,6 +117,32 @@ func Parse(r io.Reader) (*Doc, error) {
 		return nil, err
 	}
 	return doc, nil
+}
+
+// mergeMin folds a repeated sample into the kept result, metric-wise
+// minimum (iterations keep the maximum, purely informational).
+func mergeMin(a, b Result) Result {
+	if b.Iterations > a.Iterations {
+		a.Iterations = b.Iterations
+	}
+	if b.NsPerOp < a.NsPerOp {
+		a.NsPerOp = b.NsPerOp
+	}
+	if b.BytesPerOp < a.BytesPerOp {
+		a.BytesPerOp = b.BytesPerOp
+	}
+	if b.AllocsPerOp < a.AllocsPerOp {
+		a.AllocsPerOp = b.AllocsPerOp
+	}
+	for unit, v := range b.Metrics {
+		if cur, ok := a.Metrics[unit]; !ok || v < cur {
+			if a.Metrics == nil {
+				a.Metrics = make(map[string]float64)
+			}
+			a.Metrics[unit] = v
+		}
+	}
+	return a
 }
 
 // parseBenchLine parses one result line, e.g.
@@ -95,18 +156,12 @@ func parseBenchLine(line string) (Result, bool) {
 	if len(fields) < 4 {
 		return Result{}, false
 	}
-	name := fields[0]
-	if i := strings.LastIndex(name, "-"); i > 0 {
-		// Strip the -GOMAXPROCS suffix.
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
-		}
-	}
+	name, cpus := splitCPUSuffix(fields[0])
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return Result{}, false
 	}
-	res := Result{Name: name, Iterations: iters}
+	res := Result{Name: name, CPUs: cpus, Iterations: iters}
 	for i := 2; i+1 < len(fields); i += 2 {
 		val, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
@@ -127,4 +182,25 @@ func parseBenchLine(line string) (Result, bool) {
 		}
 	}
 	return res, res.NsPerOp > 0
+}
+
+// splitCPUSuffix separates the `-N` GOMAXPROCS suffix the testing
+// package appends to benchmark names (only when running on more than
+// one CPU) into a stable name and the CPU count, so the same benchmark
+// produces the same "name" key across -cpu matrix runs. cpus is 0 when
+// no suffix is present (a single-CPU run). Top-level benchmark names
+// cannot contain '-' (they are Go identifiers), so a trailing integer
+// segment is unambiguous there; for sub-benchmarks whose last segment
+// itself ends in "-<int>" the suffix is still the final one Go
+// appended whenever GOMAXPROCS > 1.
+func splitCPUSuffix(name string) (string, int) {
+	i := strings.LastIndex(name, "-")
+	if i <= 0 {
+		return name, 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 0
+	}
+	return name[:i], n
 }

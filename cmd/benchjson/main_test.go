@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -35,15 +38,175 @@ func TestParse(t *testing.T) {
 		r.NsPerOp != 1158646 || r.BytesPerOp != 67552 || r.AllocsPerOp != 644 {
 		t.Fatalf("result 0 mis-parsed: %+v", r)
 	}
-	if r2 := doc.Results[1]; r2.Name != "BenchmarkThroughputMaxflowWorkspace" || r2.AllocsPerOp != 0 {
+	if r.CPUs != 8 {
+		t.Fatalf("-8 suffix not parsed into CPUs: %+v", r)
+	}
+	if r2 := doc.Results[1]; r2.Name != "BenchmarkThroughputMaxflowWorkspace" || r2.AllocsPerOp != 0 || r2.CPUs != 0 {
 		t.Fatalf("result 1 mis-parsed: %+v", r2)
 	}
 	r3 := doc.Results[2]
-	if r3.Name != "BenchmarkAblationDepth/earliest-first" {
-		t.Fatalf("sub-benchmark name mis-parsed: %q", r3.Name)
+	if r3.Name != "BenchmarkAblationDepth/earliest-first" || r3.CPUs != 8 {
+		t.Fatalf("sub-benchmark name mis-parsed: %+v", r3)
 	}
 	if r3.Metrics["depth"] != 6.0 {
 		t.Fatalf("custom metric mis-parsed: %+v", r3.Metrics)
+	}
+}
+
+// TestStableKeyAcrossCPUMatrix is the matrix-comparability contract:
+// the same benchmark run with and without the -N GOMAXPROCS suffix
+// produces the same "name" key, with the CPU count carried separately.
+func TestStableKeyAcrossCPUMatrix(t *testing.T) {
+	cases := []struct {
+		raw  string
+		name string
+		cpus int
+	}{
+		{"BenchmarkBatchSweep-4", "BenchmarkBatchSweep", 4},
+		{"BenchmarkBatchSweep", "BenchmarkBatchSweep", 0},
+		{"BenchmarkBatchSweep/parallel-16", "BenchmarkBatchSweep/parallel", 16},
+		{"BenchmarkGreedyTest/n=1000-2", "BenchmarkGreedyTest/n=1000", 2},
+	}
+	for _, c := range cases {
+		res, ok := parseBenchLine(c.raw + " 10 100 ns/op")
+		if !ok {
+			t.Fatalf("line for %q did not parse", c.raw)
+		}
+		if res.Name != c.name || res.CPUs != c.cpus {
+			t.Errorf("%q → name=%q cpus=%d, want %q/%d", c.raw, res.Name, res.CPUs, c.name, c.cpus)
+		}
+	}
+}
+
+// writeDoc drops a Doc to a temp JSON file for compare tests.
+func writeDoc(t *testing.T, name string, doc *Doc) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(name string, ns float64, allocs int64) Result {
+	return Result{Name: name, Iterations: 10, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	oldPath := writeDoc(t, "old.json", &Doc{Results: []Result{
+		bench("BenchmarkA", 1000, 100),
+		bench("BenchmarkZero", 500, 0),
+	}})
+	newPath := writeDoc(t, "new.json", &Doc{Results: []Result{
+		bench("BenchmarkA", 1200, 110), // +20% ns, +10% allocs: under 25%
+		bench("BenchmarkZero", 600, 0),
+		bench("BenchmarkBrandNew", 50, 5), // no baseline: informational only
+	}})
+	var out, errb strings.Builder
+	if code := runCompare(oldPath, newPath, 25, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "PASS") || !strings.Contains(out.String(), "new benchmark") {
+		t.Fatalf("report:\n%s", out.String())
+	}
+}
+
+func TestCompareFailsOnNsRegression(t *testing.T) {
+	oldPath := writeDoc(t, "old.json", &Doc{Results: []Result{bench("BenchmarkA", 1000, 100)}})
+	newPath := writeDoc(t, "new.json", &Doc{Results: []Result{bench("BenchmarkA", 1300, 100)}})
+	var out, errb strings.Builder
+	if code := runCompare(oldPath, newPath, 25, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1; report:\n%s", code, out.String())
+	}
+	if !strings.Contains(errb.String(), "ns/op") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+}
+
+func TestCompareFailsOnAllocRegression(t *testing.T) {
+	oldPath := writeDoc(t, "old.json", &Doc{Results: []Result{bench("BenchmarkA", 1000, 100)}})
+	newPath := writeDoc(t, "new.json", &Doc{Results: []Result{bench("BenchmarkA", 1000, 126)}})
+	var out, errb strings.Builder
+	if code := runCompare(oldPath, newPath, 25, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "allocs/op") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+}
+
+func TestCompareFailsWhenZeroAllocBaselineLost(t *testing.T) {
+	// Even a single alloc/op fails a zero baseline: the counters are
+	// deterministic and the zero steady state is the protected invariant.
+	oldPath := writeDoc(t, "old.json", &Doc{Results: []Result{bench("BenchmarkWarm", 1000, 0)}})
+	newPath := writeDoc(t, "new.json", &Doc{Results: []Result{bench("BenchmarkWarm", 1000, 1)}})
+	var out, errb strings.Builder
+	if code := runCompare(oldPath, newPath, 25, &out, &errb); code != 1 {
+		t.Fatalf("losing the zero-alloc steady state must fail; exit %d", code)
+	}
+}
+
+func TestCompareFailsOnMissingBenchmark(t *testing.T) {
+	oldPath := writeDoc(t, "old.json", &Doc{Results: []Result{
+		bench("BenchmarkA", 1000, 100),
+		bench("BenchmarkGone", 1000, 100),
+	}})
+	newPath := writeDoc(t, "new.json", &Doc{Results: []Result{bench("BenchmarkA", 1000, 100)}})
+	var out, errb strings.Builder
+	if code := runCompare(oldPath, newPath, 25, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "missing") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+}
+
+// TestComparePairsAcrossCPUCounts: a 1-CPU baseline (no cpus recorded)
+// must pair with a multi-CPU run of the same benchmark.
+func TestComparePairsAcrossCPUCounts(t *testing.T) {
+	oldPath := writeDoc(t, "old.json", &Doc{Results: []Result{bench("BenchmarkA", 1000, 100)}})
+	multi := bench("BenchmarkA", 1100, 100)
+	multi.CPUs = 4
+	newPath := writeDoc(t, "new.json", &Doc{Results: []Result{multi}})
+	var out, errb strings.Builder
+	if code := runCompare(oldPath, newPath, 25, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+}
+
+func TestCompareBadInputs(t *testing.T) {
+	var out, errb strings.Builder
+	if code := runCompare("/does/not/exist.json", "/nope.json", 25, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	empty := writeDoc(t, "empty.json", &Doc{})
+	if code := runCompare(empty, empty, 25, &out, &errb); code != 2 {
+		t.Fatalf("empty baseline: exit %d, want 2", code)
+	}
+}
+
+// TestParseMergesRepeatedSamples: `-count 3` output folds into one
+// best-of-N result per benchmark.
+func TestParseMergesRepeatedSamples(t *testing.T) {
+	raw := `BenchmarkA-4 10 1200 ns/op 64 B/op 2 allocs/op
+BenchmarkA-4 12 1000 ns/op 64 B/op 2 allocs/op
+BenchmarkA-4 10 1500 ns/op 80 B/op 3 allocs/op
+BenchmarkA 10 900 ns/op
+`
+	doc, err := Parse(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 2 {
+		t.Fatalf("got %d results, want 2 (merged -4 samples + separate 1-CPU run): %+v", len(doc.Results), doc.Results)
+	}
+	r := doc.Results[0]
+	if r.NsPerOp != 1000 || r.BytesPerOp != 64 || r.AllocsPerOp != 2 || r.Iterations != 12 {
+		t.Fatalf("merge kept wrong values: %+v", r)
 	}
 }
 

@@ -21,6 +21,13 @@
 //	    Build the acyclic overlay and replay Massoulié-style randomized
 //	    broadcast on it, reporting per-node goodput.
 //
+//	bmpcast sim     [-seed 1] [-events 30] [-n 20] [-p 0.7] [-dist Unif100] [-solvers acyclic] [-format json|csv] [-timing] [-norepair]
+//	    Replay a seeded churn trace (arrivals, departures, rescales,
+//	    bursts) against a live platform, re-solving after every event on
+//	    warm engine sessions, and emit the deterministic event timeline.
+//	    -solvers all runs every churn-capable solver; output is
+//	    byte-identical across runs unless -timing is set.
+//
 //	bmpcast demo fig1|fig6|57|sqrt41
 //	    Walk through the paper's showcase instances.
 package main
@@ -33,14 +40,17 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/distribution"
 	"repro/internal/engine"
+	"repro/internal/experiments"
 	"repro/internal/generator"
 	"repro/internal/massoulie"
 	"repro/internal/platform"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trees"
 )
@@ -67,6 +77,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdGenerate(args[1:], stdout)
 	case "simulate":
 		err = cmdSimulate(args[1:], stdout)
+	case "sim":
+		err = cmdSim(args[1:], stdout)
 	case "demo":
 		err = cmdDemo(args[1:], stdout)
 	case "-h", "--help", "help":
@@ -84,12 +96,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: bmpcast <solve|solvers|sweep|generate|simulate|demo> [flags]
+	fmt.Fprintln(w, `usage: bmpcast <solve|solvers|sweep|generate|simulate|sim|demo> [flags]
   solve    -file inst.json [-solver acyclic] [-cyclic] [-verbose]
   solvers
   sweep    -dist <Unif100|Power1|Power2|LN1|LN2|PLab> -n <nodes> -p <openprob> -count <instances> [-solver acyclic-search] [-seed N] [-workers N]
   generate -dist <Unif100|Power1|Power2|LN1|LN2|PLab> -n <nodes> -p <openprob> [-seed N]
   simulate -file inst.json [-packets 300] [-seed 1]
+  sim      [-seed N] [-events 30] [-n 20] [-p 0.7] [-dist Unif100] [-solvers acyclic|all|a,b,c] [-format json|csv] [-timing] [-norepair]
   demo     fig1|fig6|57|sqrt41`)
 }
 
@@ -106,12 +119,7 @@ func loadInstance(path string) (*platform.Instance, error) {
 }
 
 func lookupDist(name string) (distribution.Distribution, error) {
-	for _, d := range distribution.All() {
-		if d.Name() == name {
-			return d, nil
-		}
-	}
-	return nil, fmt.Errorf("unknown distribution %q", name)
+	return distribution.ByName(name)
 }
 
 func cmdSolve(args []string, stdout io.Writer) error {
@@ -334,6 +342,52 @@ func cmdSimulate(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "simulation: %d rounds, completed=%v\n", res.Rounds, res.Completed)
 	fmt.Fprintf(stdout, "min per-node goodput: %.4f of T (1.0 = nominal rate)\n", res.MinGoodput())
 	return nil
+}
+
+func cmdSim(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "trace RNG seed (same seed ⇒ byte-identical timeline)")
+	events := fs.Int("events", 30, "churn events to replay")
+	n := fs.Int("n", 20, "initial receiver nodes")
+	p := fs.Float64("p", 0.7, "probability a node is open")
+	distName := fs.String("dist", "Unif100", "bandwidth distribution")
+	solverList := fs.String("solvers", "acyclic", "comma-separated engine solvers, or 'all' for every churn-capable one")
+	format := fs.String("format", "json", "timeline output format: json or csv")
+	timing := fs.Bool("timing", false, "include wall-clock ms per solve (breaks byte-reproducibility)")
+	noRepair := fs.Bool("norepair", false, "disable incremental repair (full re-solve per event)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var solvers []string
+	if *solverList == "all" {
+		solvers = experiments.ChurnSolvers()
+	} else {
+		for _, name := range strings.Split(*solverList, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				solvers = append(solvers, name)
+			}
+		}
+	}
+	tr, err := sim.GenerateTrace(sim.TraceConfig{
+		Nodes: *n, POpen: *p, Dist: *distName, Events: *events, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	tl, err := sim.Run(context.Background(), tr, sim.RunConfig{
+		Solvers: solvers, NoRepair: *noRepair, Timing: *timing,
+	})
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "json":
+		return tl.WriteJSON(stdout)
+	case "csv":
+		return tl.WriteCSV(stdout)
+	default:
+		return fmt.Errorf("sim: unknown format %q (json or csv)", *format)
+	}
 }
 
 func cmdDemo(args []string, stdout io.Writer) error {

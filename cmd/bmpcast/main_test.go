@@ -1,8 +1,10 @@
 package main
 
 import (
+	"math"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -99,6 +101,98 @@ func TestDemoFig1(t *testing.T) {
 	}
 	if !strings.Contains(out, "cyclic scheme at T = 4.400000") {
 		t.Errorf("demo output missing cyclic section:\n%s", out)
+	}
+}
+
+// simGoldenArgs are the exact flags the CI sim-smoke step replays; the
+// committed golden file pins the timeline byte-for-byte.
+var simGoldenArgs = []string{"sim", "-seed", "7", "-events", "24", "-n", "16", "-p", "0.7",
+	"-solvers", "acyclic,cyclic-bound,greedy"}
+
+func TestSimMatchesGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "sim_golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, errOut, code := runCLI(t, simGoldenArgs...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if out != string(want) {
+		t.Fatalf("sim timeline deviates from testdata/sim_golden.json — determinism broken "+
+			"(or an intentional change: regenerate with `go run ./cmd/bmpcast %s > cmd/bmpcast/testdata/sim_golden.json`)",
+			strings.Join(simGoldenArgs, " "))
+	}
+	// Determinism within the process too (warm pools must not bleed in).
+	again, _, code := runCLI(t, simGoldenArgs...)
+	if code != 0 || again != out {
+		t.Fatal("second sim run differs from the first")
+	}
+}
+
+func TestSimCSV(t *testing.T) {
+	out, errOut, code := runCLI(t, "sim", "-seed", "3", "-events", "6", "-n", "10",
+		"-solvers", "all", "-format", "csv")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.HasPrefix(out, "event,desc,n,m,b0,tstar,solver,") {
+		t.Fatalf("missing CSV header:\n%.200s", out)
+	}
+	for _, solver := range []string{"acyclic", "cyclic-pack", "depth"} {
+		if !strings.Contains(out, ","+solver+",") {
+			t.Errorf("CSV missing churn-capable solver %s", solver)
+		}
+	}
+}
+
+func TestSimNoRepairSameThroughput(t *testing.T) {
+	warm, _, code := runCLI(t, "sim", "-seed", "5", "-events", "8", "-n", "10", "-format", "csv")
+	if code != 0 {
+		t.Fatal("sim failed")
+	}
+	cold, _, code := runCLI(t, "sim", "-seed", "5", "-events", "8", "-n", "10", "-format", "csv", "-norepair")
+	if code != 0 {
+		t.Fatal("sim -norepair failed")
+	}
+	// Repair and full re-solve spend different eval counts and may
+	// differ below the search bracket (≈1e-12 relative); the verified
+	// throughput must agree within the repair contract's tolerance.
+	wl, cl := strings.Split(warm, "\n"), strings.Split(cold, "\n")
+	if len(wl) != len(cl) {
+		t.Fatalf("row count differs: %d vs %d", len(wl), len(cl))
+	}
+	for i := range wl {
+		if wl[i] == "" || i == 0 {
+			continue
+		}
+		wf, cf := strings.Split(wl[i], ","), strings.Split(cl[i], ",")
+		// Columns: ...,solver(6),throughput(7),ratio(8),verified(9),...
+		if wf[6] != cf[6] {
+			t.Fatalf("row %d: solver %q vs %q", i, wf[6], cf[6])
+		}
+		for _, col := range []int{7, 8, 9} {
+			wv, err1 := strconv.ParseFloat(wf[col], 64)
+			cv, err2 := strconv.ParseFloat(cf[col], 64)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("row %d col %d: unparsable %q / %q", i, col, wf[col], cf[col])
+			}
+			if math.Abs(wv-cv) > 1e-9*math.Max(1, cv) {
+				t.Fatalf("row %d col %d: repair %v vs full %v", i, col, wv, cv)
+			}
+		}
+	}
+}
+
+func TestSimBadFlags(t *testing.T) {
+	if _, errOut, code := runCLI(t, "sim", "-format", "xml"); code != 1 || !strings.Contains(errOut, "unknown format") {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if _, errOut, code := runCLI(t, "sim", "-dist", "nope"); code != 1 || !strings.Contains(errOut, "unknown distribution") {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if _, errOut, code := runCLI(t, "sim", "-solvers", "does-not-exist"); code != 1 || !strings.Contains(errOut, "unknown solver") {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
 	}
 }
 

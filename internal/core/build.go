@@ -142,15 +142,20 @@ func SolveAcyclicWithWorkspace(ins *platform.Instance, ws *Workspace) (float64, 
 	if err != nil {
 		return 0, nil, err
 	}
+	return buildSchemeShaved(ins, w, T, ws)
+}
+
+// buildSchemeShaved materializes word w at throughput T, retrying a
+// hair below when float dust makes the exact optimum infeasible — the
+// one retry policy shared by the full solve and both repair paths. It
+// returns the throughput actually built (possibly shaved).
+func buildSchemeShaved(ins *platform.Instance, w Word, T float64, ws *Workspace) (float64, *Scheme, error) {
 	scheme, err := BuildSchemeWithWorkspace(ins, w, T, ws)
 	if err != nil {
-		// The word is feasible at T up to float dust; retry a hair below.
-		shaved := T * (1 - 1e-12)
-		scheme, err = BuildSchemeWithWorkspace(ins, w, shaved, ws)
-		if err != nil {
+		T *= 1 - 1e-12
+		if scheme, err = BuildSchemeWithWorkspace(ins, w, T, ws); err != nil {
 			return 0, nil, err
 		}
-		return shaved, scheme, nil
 	}
 	return T, scheme, nil
 }

@@ -229,3 +229,14 @@ func planetLabTable() []float64 {
 func All() []Distribution {
 	return []Distribution{LN1(), LN2(), Power1(), Power2(), Unif100(), PlanetLab()}
 }
+
+// ByName resolves a distribution by its Name (the identifiers the CLIs
+// and trace configs use: "Unif100", "Power1", ...).
+func ByName(name string) (Distribution, error) {
+	for _, d := range All() {
+		if d.Name() == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("distribution: unknown distribution %q", name)
+}

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -46,6 +47,10 @@ const (
 	// CapAnytime marks fast heuristics: always a valid scheme, possibly
 	// below the optimum.
 	CapAnytime
+	// CapIncremental marks solvers a Session can re-solve incrementally
+	// after platform churn, warm-starting from the previous solution
+	// (core.RepairAcyclic) instead of solving from scratch.
+	CapIncremental
 )
 
 var capNames = []struct {
@@ -57,6 +62,7 @@ var capNames = []struct {
 	{CapBuildsScheme, "builds-scheme"},
 	{CapCyclic, "cyclic"},
 	{CapAnytime, "anytime"},
+	{CapIncremental, "incremental"},
 }
 
 // Has reports whether c includes every bit of want.
@@ -98,6 +104,17 @@ type Result struct {
 	Edges int
 	// Wall is the wall-clock duration of the Solve call.
 	Wall time.Duration
+	// Repaired reports that the result came from a Session's
+	// incremental-repair path (warm start from the previous event's
+	// solution) rather than a from-scratch solve. Always false outside
+	// sessions.
+	Repaired bool
+	// Verified is the scheme's max-flow-verified throughput when the
+	// solve path verified it — Session resolves of CapIncremental
+	// solvers always do, upholding the repair contract. Zero means the
+	// result was not verified (callers wanting certainty run the
+	// throughput functional themselves).
+	Verified float64
 	// Evals counts the expensive inner evaluations behind this solve —
 	// max-flow queries, Algorithm 2 probes, per-word evaluations, scheme
 	// builds and scratch growths — as routed through the solver's
@@ -124,24 +141,44 @@ type Solver interface {
 // its zero-allocation steady state after the first few solves.
 var wsPool = sync.Pool{New: func() any { return core.NewWorkspace() }}
 
+// wsLeased counts workspaces taken from the pool and not yet returned.
+// The leak tests (Session cancellation, sim mid-trace abort) assert it
+// returns to its baseline once every session is closed.
+var wsLeased atomic.Int64
+
 // AcquireWorkspace takes a workspace from the engine pool. Callers
 // running solver internals directly (the experiment drivers do) share
 // the same warm pool as the registry solvers; return it with
 // ReleaseWorkspace when done.
-func AcquireWorkspace() *core.Workspace { return wsPool.Get().(*core.Workspace) }
+func AcquireWorkspace() *core.Workspace {
+	wsLeased.Add(1)
+	return wsPool.Get().(*core.Workspace)
+}
 
 // ReleaseWorkspace returns a workspace to the engine pool.
 func ReleaseWorkspace(ws *core.Workspace) {
 	if ws != nil {
+		wsLeased.Add(-1)
 		wsPool.Put(ws)
 	}
 }
 
+// LeasedWorkspaces reports how many pool workspaces are currently
+// checked out (acquired and not yet released).
+func LeasedWorkspaces() int64 { return wsLeased.Load() }
+
+// RepairFunc is a solver's incremental re-solve entry point: given the
+// mutated instance and the previous event's encoding word, produce a
+// verified result, falling back to a full solve internally when the
+// warm start does not hold up.
+type RepairFunc func(*platform.Instance, core.Word, *core.Workspace) (core.RepairResult, error)
+
 // funcSolver adapts a plain function to the Solver interface.
 type funcSolver struct {
-	name  string
-	caps  Capability
-	solve func(*platform.Instance, *core.Workspace) (Result, error)
+	name   string
+	caps   Capability
+	solve  func(*platform.Instance, *core.Workspace) (Result, error)
+	repair RepairFunc // non-nil iff caps has CapIncremental
 }
 
 // NewSolver wraps fn as a Solver. The engine adds the context entry
@@ -150,7 +187,20 @@ type funcSolver struct {
 // evaluation-counter delta in Result.Evals. fn may ignore the
 // workspace; it must not retain it past the call.
 func NewSolver(name string, caps Capability, fn func(*platform.Instance, *core.Workspace) (Result, error)) Solver {
+	if caps.Has(CapIncremental) {
+		panic(fmt.Sprintf("engine: solver %q declares CapIncremental without a repair function — use NewIncrementalSolver", name))
+	}
 	return &funcSolver{name: name, caps: caps, solve: fn}
+}
+
+// NewIncrementalSolver is NewSolver for solvers that additionally
+// support Session-driven incremental re-solve: repair is the warm-start
+// entry point Sessions call between events. CapIncremental is implied.
+func NewIncrementalSolver(name string, caps Capability, fn func(*platform.Instance, *core.Workspace) (Result, error), repair RepairFunc) Solver {
+	if repair == nil {
+		panic(fmt.Sprintf("engine: incremental solver %q needs a repair function", name))
+	}
+	return &funcSolver{name: name, caps: caps | CapIncremental, solve: fn, repair: repair}
 }
 
 func (f *funcSolver) Name() string             { return f.name }
@@ -171,7 +221,16 @@ func (f *funcSolver) solveWith(ctx context.Context, ins *platform.Instance, ws *
 	if err != nil {
 		return Result{}, fmt.Errorf("%s: %w", f.name, err)
 	}
-	res.Solver = f.name
+	finishResult(&res, f.name, ws.Stats().Sub(before), start)
+	return res, nil
+}
+
+// finishResult stamps the uniform Result fields a solve path fills in
+// after the algorithm returns: solver name, scheme-derived degree
+// statistics, the workspace evaluation delta and the wall clock.
+// Shared by the registry Solve path and the Session resolve path.
+func finishResult(res *Result, name string, evals core.WorkspaceStats, start time.Time) {
+	res.Solver = name
 	if res.Scheme != nil {
 		res.Edges = res.Scheme.NumEdges()
 		res.MaxOutDegree = res.Scheme.MaxOutDegree()
@@ -179,9 +238,8 @@ func (f *funcSolver) solveWith(ctx context.Context, ins *platform.Instance, ws *
 			_, res.MaxDegreeSlack = res.Scheme.DegreeSlack(res.Throughput)
 		}
 	}
-	res.Evals = ws.Stats().Sub(before)
+	res.Evals = evals
 	res.Wall = time.Since(start)
-	return res, nil
 }
 
 // SolveIsolated runs s on a dedicated, never-pooled workspace — the

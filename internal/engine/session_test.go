@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/distribution"
+	"repro/internal/generator"
+	"repro/internal/platform"
+)
+
+// churnSequence returns an instance and a list of mutations to replay
+// against it, all deterministic under seed.
+func churnSequence(t testing.TB, seed int64, events int) (*platform.Instance, []func(*platform.Instance)) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	dist := distribution.All()[0]
+	ins, err := generator.Random(dist, 14+rng.Intn(10), 0.6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := make([]func(*platform.Instance), events)
+	for i := range muts {
+		op := rng.Intn(4)
+		bw := dist.Sample(rng)
+		factor := 0.3 + 2.4*rng.Float64()
+		pick := rng.Int63()
+		muts[i] = func(ins *platform.Instance) {
+			switch op {
+			case 0:
+				ins.AddOpen(bw)
+			case 1:
+				ins.AddGuarded(bw)
+			case 2:
+				if ins.N() > 1 {
+					ins.RemoveOpen(int(pick) % ins.N())
+				} else if ins.M() > 0 {
+					ins.RemoveGuarded(int(pick) % ins.M())
+				}
+			case 3:
+				if ins.M() > 0 {
+					ins.RescaleGuarded(int(pick)%ins.M(), factor)
+				} else {
+					ins.RescaleOpen(int(pick)%ins.N(), factor)
+				}
+			}
+		}
+	}
+	return ins, muts
+}
+
+func TestSessionRepairMatchesIsolatedSolve(t *testing.T) {
+	ctx := context.Background()
+	solver, err := Get("acyclic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := NewSession("acyclic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ses.Close()
+
+	ins, muts := churnSequence(t, 3, 25)
+	for i := -1; i < len(muts); i++ {
+		if i >= 0 {
+			muts[i](ins)
+		}
+		got, err := ses.Resolve(ctx, ins)
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		want, err := SolveIsolated(ctx, solver, ins)
+		if err != nil {
+			t.Fatalf("event %d isolated: %v", i, err)
+		}
+		scale := math.Max(1, want.Throughput)
+		if math.Abs(got.Throughput-want.Throughput) > 1e-9*scale {
+			t.Fatalf("event %d: session T = %v, isolated T = %v", i, got.Throughput, want.Throughput)
+		}
+		if got.Scheme == nil {
+			t.Fatalf("event %d: session returned no scheme", i)
+		}
+		if err := got.Scheme.Validate(); err != nil {
+			t.Fatalf("event %d: invalid scheme: %v", i, err)
+		}
+	}
+	st := ses.Stats()
+	if st.Events != len(muts)+1 {
+		t.Fatalf("Events = %d, want %d", st.Events, len(muts)+1)
+	}
+	if st.Events != st.Repairs+st.FullSolves {
+		t.Fatalf("counter mismatch: %+v", st)
+	}
+	if st.Repairs == 0 {
+		t.Fatalf("no event used the repair path: %+v", st)
+	}
+}
+
+func TestSessionRepairDisabled(t *testing.T) {
+	ctx := context.Background()
+	ses, err := NewSession("acyclic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ses.Close()
+	ses.SetRepair(false)
+
+	ins, muts := churnSequence(t, 9, 5)
+	for i := -1; i < len(muts); i++ {
+		if i >= 0 {
+			muts[i](ins)
+		}
+		res, err := ses.Resolve(ctx, ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Repaired {
+			t.Fatal("Repaired set with repair disabled")
+		}
+	}
+	if st := ses.Stats(); st.Repairs != 0 || st.FullSolves != 6 {
+		t.Fatalf("stats with repair disabled: %+v", st)
+	}
+}
+
+func TestSessionNonIncrementalSolver(t *testing.T) {
+	ctx := context.Background()
+	for _, name := range []string{"cyclic-bound", "greedy"} {
+		ses, err := NewSession(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins, muts := churnSequence(t, 17, 4)
+		for i := -1; i < len(muts); i++ {
+			if i >= 0 {
+				muts[i](ins)
+			}
+			res, err := ses.Resolve(ctx, ins)
+			if err != nil {
+				t.Fatalf("%s event %d: %v", name, i, err)
+			}
+			if res.Repaired {
+				t.Fatalf("%s claims repair without CapIncremental", name)
+			}
+			if res.Solver != name {
+				t.Fatalf("result stamped %q, want %q", res.Solver, name)
+			}
+		}
+		if st := ses.Stats(); st.Repairs != 0 || st.Events != 5 {
+			t.Fatalf("%s stats: %+v", name, st)
+		}
+		ses.Close()
+	}
+}
+
+func TestSessionCancellationAndClose(t *testing.T) {
+	base := LeasedWorkspaces()
+	ses, err := NewSession("acyclic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := LeasedWorkspaces(); got != base+1 {
+		t.Fatalf("LeasedWorkspaces = %d after open, want %d", got, base+1)
+	}
+	ins := generator.Figure1()
+	ctx, cancel := context.WithCancel(context.Background())
+	if _, err := ses.Resolve(ctx, ins); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := ses.Resolve(ctx, ins); err != context.Canceled {
+		t.Fatalf("Resolve after cancel = %v, want context.Canceled", err)
+	}
+	// A cancelled session still releases its workspace on Close, and
+	// closing twice is safe.
+	ses.Close()
+	ses.Close()
+	if got := LeasedWorkspaces(); got != base {
+		t.Fatalf("LeasedWorkspaces = %d after close, want %d — workspace leaked", got, base)
+	}
+	if _, err := ses.Resolve(context.Background(), ins); err == nil {
+		t.Fatal("Resolve on a closed session should error")
+	}
+}
+
+func TestSessionUnknownSolver(t *testing.T) {
+	if _, err := NewSession("no-such-solver"); err == nil {
+		t.Fatal("NewSession on an unknown name should error")
+	}
+}

@@ -23,7 +23,7 @@ import (
 // Every solver runs its core hot path through the engine-pooled
 // workspace it receives, so sweeps reuse scratch across instances.
 func init() {
-	Default.MustRegister(NewSolver("acyclic",
+	Default.MustRegister(NewIncrementalSolver("acyclic",
 		CapExact|CapHandlesGuarded|CapBuildsScheme,
 		func(ins *platform.Instance, ws *core.Workspace) (Result, error) {
 			T, s, err := core.SolveAcyclicWithWorkspace(ins, ws)
@@ -31,7 +31,8 @@ func init() {
 				return Result{}, err
 			}
 			return Result{Throughput: T, Scheme: s}, nil
-		}))
+		},
+		core.RepairAcyclicWithWorkspace))
 
 	Default.MustRegister(NewSolver("acyclic-search",
 		CapExact|CapHandlesGuarded,

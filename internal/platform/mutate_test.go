@@ -1,0 +1,205 @@
+package platform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// rebuilt returns a fresh NewInstance over the mutated instance's
+// current bandwidths — the reference every cache must match exactly.
+func rebuilt(t *testing.T, ins *Instance) *Instance {
+	t.Helper()
+	ref, err := NewInstance(ins.B0, ins.OpenBW, ins.GuardedBW)
+	if err != nil {
+		t.Fatalf("rebuilding reference instance: %v", err)
+	}
+	return ref
+}
+
+// checkAgainstRebuild asserts the mutated instance is indistinguishable
+// from a freshly constructed one: same sorted bandwidths and
+// bit-identical prefix accessors at every rank.
+func checkAgainstRebuild(t *testing.T, ins *Instance) {
+	t.Helper()
+	if err := ins.Validate(); err != nil {
+		t.Fatalf("Validate after mutation: %v", err)
+	}
+	ref := rebuilt(t, ins)
+	for k := 0; k <= ins.N(); k++ {
+		if got, want := ins.OpenPrefix(k), ref.OpenPrefix(k); got != want {
+			t.Fatalf("OpenPrefix(%d) = %v, rebuild gives %v", k, got, want)
+		}
+	}
+	for k := 0; k <= ins.M(); k++ {
+		if got, want := ins.GuardedPrefix(k), ref.GuardedPrefix(k); got != want {
+			t.Fatalf("GuardedPrefix(%d) = %v, rebuild gives %v", k, got, want)
+		}
+	}
+	if got, want := ins.SumOpen(), ref.SumOpen(); got != want {
+		t.Fatalf("SumOpen = %v, rebuild gives %v", got, want)
+	}
+	if got, want := ins.SumGuarded(), ref.SumGuarded(); got != want {
+		t.Fatalf("SumGuarded = %v, rebuild gives %v", got, want)
+	}
+}
+
+func TestAddRemoveRanks(t *testing.T) {
+	ins := MustInstance(6, []float64{5, 3}, []float64{4, 1})
+	rank, err := ins.AddOpen(4)
+	if err != nil || rank != 1 {
+		t.Fatalf("AddOpen(4) = (%d, %v), want rank 1", rank, err)
+	}
+	checkAgainstRebuild(t, ins)
+	rank, err = ins.AddGuarded(0.5)
+	if err != nil || rank != 2 {
+		t.Fatalf("AddGuarded(0.5) = (%d, %v), want rank 2", rank, err)
+	}
+	checkAgainstRebuild(t, ins)
+	// Equal bandwidths insert after existing ones.
+	rank, err = ins.AddOpen(5)
+	if err != nil || rank != 1 {
+		t.Fatalf("AddOpen(5) = (%d, %v), want rank 1", rank, err)
+	}
+	checkAgainstRebuild(t, ins)
+	bw, err := ins.RemoveOpen(0)
+	if err != nil || bw != 5 {
+		t.Fatalf("RemoveOpen(0) = (%v, %v), want bw 5", bw, err)
+	}
+	checkAgainstRebuild(t, ins)
+	bw, err = ins.RemoveGuarded(2)
+	if err != nil || bw != 0.5 {
+		t.Fatalf("RemoveGuarded(2) = (%v, %v), want bw 0.5", bw, err)
+	}
+	checkAgainstRebuild(t, ins)
+}
+
+func TestRescaleMovesRank(t *testing.T) {
+	ins := MustInstance(6, []float64{8, 4, 2}, []float64{4, 2, 1})
+	// 2 × 8 = 16 becomes the largest open node.
+	rank, err := ins.RescaleOpen(2, 8)
+	if err != nil || rank != 0 {
+		t.Fatalf("RescaleOpen(2, 8) = (%d, %v), want rank 0", rank, err)
+	}
+	checkAgainstRebuild(t, ins)
+	// 4 × 0.1 = 0.4 sinks to the bottom of the guarded class.
+	rank, err = ins.RescaleGuarded(0, 0.1)
+	if err != nil || rank != 2 {
+		t.Fatalf("RescaleGuarded(0, 0.1) = (%d, %v), want rank 2", rank, err)
+	}
+	checkAgainstRebuild(t, ins)
+}
+
+func TestSetSourceBandwidth(t *testing.T) {
+	ins := MustInstance(6, []float64{5, 5}, []float64{4, 1, 1})
+	if err := ins.SetSourceBandwidth(3); err != nil {
+		t.Fatalf("SetSourceBandwidth(3): %v", err)
+	}
+	checkAgainstRebuild(t, ins)
+	if err := ins.SetSourceBandwidth(0); err == nil {
+		t.Fatal("SetSourceBandwidth(0) with receivers should fail")
+	}
+}
+
+func TestMutationErrors(t *testing.T) {
+	ins := MustInstance(6, []float64{5}, []float64{4})
+	if _, err := ins.AddOpen(math.NaN()); err == nil {
+		t.Fatal("AddOpen(NaN) should fail")
+	}
+	if _, err := ins.AddGuarded(-1); err == nil {
+		t.Fatal("AddGuarded(-1) should fail")
+	}
+	if _, err := ins.RemoveOpen(1); err == nil {
+		t.Fatal("RemoveOpen out of range should fail")
+	}
+	if _, err := ins.RemoveGuarded(-1); err == nil {
+		t.Fatal("RemoveGuarded(-1) should fail")
+	}
+	if _, err := ins.RescaleOpen(0, math.Inf(1)); err == nil {
+		t.Fatal("RescaleOpen to +Inf should fail")
+	}
+	if _, err := ins.RescaleGuarded(5, 2); err == nil {
+		t.Fatal("RescaleGuarded out of range should fail")
+	}
+	// Failed mutations must leave the instance untouched.
+	checkAgainstRebuild(t, ins)
+	if ins.N() != 1 || ins.M() != 1 {
+		t.Fatalf("failed mutations changed the shape: n=%d m=%d", ins.N(), ins.M())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	ins := MustInstance(6, []float64{5, 5}, []float64{4, 1, 1})
+	cl := ins.Clone()
+	if _, err := ins.AddOpen(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ins.RemoveGuarded(0); err != nil {
+		t.Fatal(err)
+	}
+	if cl.N() != 2 || cl.M() != 3 || cl.OpenPrefix(2) != 16 {
+		t.Fatalf("clone mutated alongside the original: %v", cl)
+	}
+	checkAgainstRebuild(t, cl)
+	checkAgainstRebuild(t, ins)
+}
+
+// TestMutationFuzz drives hundreds of random mutations and checks the
+// instance stays exactly equivalent to a from-scratch construction
+// after every step.
+func TestMutationFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ins := MustInstance(10, []float64{9, 5, 3}, []float64{7, 2})
+	for step := 0; step < 600; step++ {
+		switch op := rng.Intn(6); op {
+		case 0:
+			if _, err := ins.AddOpen(rng.Float64() * 100); err != nil {
+				t.Fatalf("step %d AddOpen: %v", step, err)
+			}
+		case 1:
+			if _, err := ins.AddGuarded(rng.Float64() * 100); err != nil {
+				t.Fatalf("step %d AddGuarded: %v", step, err)
+			}
+		case 2:
+			if ins.N() > 1 {
+				if _, err := ins.RemoveOpen(rng.Intn(ins.N())); err != nil {
+					t.Fatalf("step %d RemoveOpen: %v", step, err)
+				}
+			}
+		case 3:
+			if ins.M() > 0 {
+				if _, err := ins.RemoveGuarded(rng.Intn(ins.M())); err != nil {
+					t.Fatalf("step %d RemoveGuarded: %v", step, err)
+				}
+			}
+		case 4:
+			if ins.N() > 0 {
+				if _, err := ins.RescaleOpen(rng.Intn(ins.N()), 0.25+rng.Float64()*3); err != nil {
+					t.Fatalf("step %d RescaleOpen: %v", step, err)
+				}
+			}
+		case 5:
+			if ins.M() > 0 {
+				if _, err := ins.RescaleGuarded(rng.Intn(ins.M()), 0.25+rng.Float64()*3); err != nil {
+					t.Fatalf("step %d RescaleGuarded: %v", step, err)
+				}
+			}
+		}
+		checkAgainstRebuild(t, ins)
+	}
+}
+
+// TestMutatedHandBuiltInstanceGainsCaches checks the nil-cache fallback
+// path: a field-assembled instance picks up O(1) caches on first
+// mutation.
+func TestMutatedHandBuiltInstanceGainsCaches(t *testing.T) {
+	ins := &Instance{B0: 6, OpenBW: []float64{5, 5}, GuardedBW: []float64{4, 1, 1}}
+	if _, err := ins.AddGuarded(2); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstRebuild(t, ins)
+	if _, err := ins.AddOpen(1); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstRebuild(t, ins)
+}

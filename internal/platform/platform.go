@@ -45,7 +45,10 @@ func (k Kind) String() string {
 
 // Instance is a broadcast problem instance. Construct with NewInstance so
 // the sortedness invariant holds; the fields are exported for tests and
-// serialization but must not be mutated afterwards.
+// serialization but must not be written directly afterwards — dynamic
+// platforms evolve through the mutation API (AddOpen, RemoveGuarded,
+// RescaleOpen, SetSourceBandwidth, ... in mutate.go), which keeps the
+// sorted invariant and the prefix-sum caches intact.
 type Instance struct {
 	// B0 is the outgoing bandwidth of the source C0.
 	B0 float64

@@ -1,0 +1,325 @@
+// Package sim is the dynamic-platform churn simulator: a deterministic
+// discrete-event layer where a seeded event stream — node arrivals,
+// departures, bandwidth rescales and burst churn — mutates a live
+// platform.Instance, and after every event the scheme is re-solved
+// through an engine.Session that keeps a warm workspace across events
+// and repairs the previous solution incrementally where it can.
+//
+// The paper's solvers compute steady-state throughput for a fixed
+// bounded multi-port platform; real overlays churn (the Massoulié-style
+// dynamics of §II-C / internal/massoulie). This package turns the
+// static reproduction into a dynamic workload: the metric is solve
+// latency and evaluation cost *under change*, recorded per event in a
+// byte-reproducible Timeline.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/distribution"
+	"repro/internal/generator"
+	"repro/internal/platform"
+)
+
+// Op is the kind of a churn event.
+type Op uint8
+
+const (
+	// OpArrive adds one node (class + bandwidth).
+	OpArrive Op = iota
+	// OpDepart removes one node (class + rank at application time).
+	OpDepart
+	// OpRescale multiplies one node's bandwidth by a factor; rank −1
+	// targets the source.
+	OpRescale
+	// OpBurst applies a batch of arrivals/departures atomically, with a
+	// single re-solve after the whole batch (flash-crowd churn).
+	OpBurst
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpArrive:
+		return "arrive"
+	case OpDepart:
+		return "depart"
+	case OpRescale:
+		return "rescale"
+	case OpBurst:
+		return "burst"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Event is one churn event. Ranks refer to the within-class position
+// (0 = largest bandwidth) at the moment the event is applied — traces
+// are generated against an evolving scratch instance, so replaying the
+// events in order against the same initial instance is always valid.
+type Event struct {
+	Op     Op
+	Class  platform.Kind // arrive/depart/rescale
+	Rank   int           // depart/rescale; −1 = source (rescale only)
+	BW     float64       // arrive: the joining node's bandwidth
+	Factor float64       // rescale: multiplier
+	Sub    []Event       // burst: member arrivals/departures
+}
+
+// String renders a compact, comma-free description (CSV-safe).
+func (e Event) String() string {
+	switch e.Op {
+	case OpArrive:
+		return fmt.Sprintf("arrive %v bw=%g", e.Class, e.BW)
+	case OpDepart:
+		return fmt.Sprintf("depart %v rank=%d", e.Class, e.Rank)
+	case OpRescale:
+		if e.Rank < 0 {
+			return fmt.Sprintf("rescale source factor=%g", e.Factor)
+		}
+		return fmt.Sprintf("rescale %v rank=%d factor=%g", e.Class, e.Rank, e.Factor)
+	case OpBurst:
+		parts := make([]string, len(e.Sub))
+		for i, sub := range e.Sub {
+			parts[i] = sub.String()
+		}
+		return fmt.Sprintf("burst(%d): %s", len(e.Sub), strings.Join(parts, "; "))
+	default:
+		return e.Op.String()
+	}
+}
+
+// Apply mutates ins according to the event. Burst members apply in
+// order; the first failing member aborts (the instance keeps the
+// members applied so far — traces produced by GenerateTrace never
+// fail).
+func Apply(ins *platform.Instance, ev Event) error {
+	switch ev.Op {
+	case OpArrive:
+		var err error
+		if ev.Class == platform.Open {
+			_, err = ins.AddOpen(ev.BW)
+		} else {
+			_, err = ins.AddGuarded(ev.BW)
+		}
+		return err
+	case OpDepart:
+		var err error
+		if ev.Class == platform.Open {
+			_, err = ins.RemoveOpen(ev.Rank)
+		} else {
+			_, err = ins.RemoveGuarded(ev.Rank)
+		}
+		return err
+	case OpRescale:
+		if ev.Rank < 0 {
+			return ins.SetSourceBandwidth(ins.B0 * ev.Factor)
+		}
+		var err error
+		if ev.Class == platform.Open {
+			_, err = ins.RescaleOpen(ev.Rank, ev.Factor)
+		} else {
+			_, err = ins.RescaleGuarded(ev.Rank, ev.Factor)
+		}
+		return err
+	case OpBurst:
+		for i, sub := range ev.Sub {
+			if sub.Op == OpBurst {
+				return fmt.Errorf("sim: nested burst at member %d", i)
+			}
+			if err := Apply(ins, sub); err != nil {
+				return fmt.Errorf("sim: burst member %d: %w", i, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("sim: unknown op %v", ev.Op)
+	}
+}
+
+// TraceConfig parameterizes a generated churn trace.
+type TraceConfig struct {
+	// Nodes is the initial receiver count (≥ 2).
+	Nodes int
+	// POpen is the probability a node (initial or arriving) is open.
+	// Zero is meaningful (everything guarded, one initial node promoted
+	// open so the platform is feedable); negative selects the default
+	// 0.7.
+	POpen float64
+	// Dist names the bandwidth distribution (see internal/distribution).
+	Dist string
+	// Events is the number of churn events.
+	Events int
+	// Seed drives everything: same config + seed ⇒ identical trace.
+	Seed int64
+	// PArrive, PDepart, PRescale, PBurst weight the event mix; they are
+	// normalized, so only ratios matter. All zero means the default mix
+	// 0.35/0.30/0.25/0.10.
+	PArrive, PDepart, PRescale, PBurst float64
+	// BurstMax caps burst size (members per burst, ≥ 2; default 4).
+	BurstMax int
+	// RescaleMin/RescaleMax bracket rescale factors (default 0.25–4).
+	RescaleMin, RescaleMax float64
+}
+
+// withDefaults fills zero fields.
+func (c TraceConfig) withDefaults() TraceConfig {
+	if c.Nodes == 0 {
+		c.Nodes = 20
+	}
+	if c.POpen < 0 {
+		c.POpen = 0.7
+	}
+	if c.Dist == "" {
+		c.Dist = "Unif100"
+	}
+	if c.Events == 0 {
+		c.Events = 30
+	}
+	if c.PArrive == 0 && c.PDepart == 0 && c.PRescale == 0 && c.PBurst == 0 {
+		c.PArrive, c.PDepart, c.PRescale, c.PBurst = 0.35, 0.30, 0.25, 0.10
+	}
+	if c.BurstMax < 2 {
+		c.BurstMax = 4
+	}
+	if c.RescaleMin == 0 {
+		c.RescaleMin = 0.25
+	}
+	if c.RescaleMax == 0 {
+		c.RescaleMax = 4
+	}
+	return c
+}
+
+// Trace is a generated churn scenario: the initial platform and the
+// event stream. Replaying Events in order against (a clone of) Initial
+// is always valid.
+type Trace struct {
+	Config  TraceConfig
+	Initial *platform.Instance
+	Events  []Event
+}
+
+// GenerateTrace draws a deterministic churn trace: the initial tight
+// instance comes from generator.Random, then each event is drawn
+// against an evolving scratch instance so that every rank reference is
+// valid at application time. Departures keep the platform alive (at
+// least two receivers, at least one open node — guarded nodes can only
+// be fed by open capacity).
+func GenerateTrace(cfg TraceConfig) (*Trace, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("sim: need at least 2 initial nodes, got %d", cfg.Nodes)
+	}
+	dist, err := distribution.ByName(cfg.Dist)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	initial, err := generator.Random(dist, cfg.Nodes, cfg.POpen, rng)
+	if err != nil {
+		return nil, err
+	}
+	g := &traceGen{cfg: cfg, dist: dist, rng: rng, scratch: initial.Clone()}
+	events := make([]Event, 0, cfg.Events)
+	for i := 0; i < cfg.Events; i++ {
+		ev := g.next()
+		if err := Apply(g.scratch, ev); err != nil {
+			return nil, fmt.Errorf("sim: generated event %d (%s) does not apply: %w", i, ev, err)
+		}
+		events = append(events, ev)
+	}
+	return &Trace{Config: cfg, Initial: initial, Events: events}, nil
+}
+
+// traceGen draws events valid against the evolving scratch instance.
+type traceGen struct {
+	cfg     TraceConfig
+	dist    distribution.Distribution
+	rng     *rand.Rand
+	scratch *platform.Instance
+}
+
+func (g *traceGen) next() Event {
+	total := g.cfg.PArrive + g.cfg.PDepart + g.cfg.PRescale + g.cfg.PBurst
+	x := g.rng.Float64() * total
+	switch {
+	case x < g.cfg.PArrive:
+		return g.arrive()
+	case x < g.cfg.PArrive+g.cfg.PDepart:
+		return g.depart()
+	case x < g.cfg.PArrive+g.cfg.PDepart+g.cfg.PRescale:
+		return g.rescale()
+	default:
+		return g.burst()
+	}
+}
+
+func (g *traceGen) arrive() Event {
+	class := platform.Guarded
+	if g.rng.Float64() < g.cfg.POpen {
+		class = platform.Open
+	}
+	return Event{Op: OpArrive, Class: class, BW: g.dist.Sample(g.rng)}
+}
+
+// depart picks a removable node: the platform keeps ≥ 2 receivers and
+// ≥ 1 open node. When nothing is removable the event degrades to an
+// arrival (the draw still advances the stream deterministically).
+func (g *traceGen) depart() Event {
+	n, m := g.scratch.N(), g.scratch.M()
+	if n+m <= 2 {
+		return g.arrive()
+	}
+	removableOpen := n - 1 // never the last open node
+	if removableOpen < 0 {
+		removableOpen = 0
+	}
+	pick := g.rng.Intn(removableOpen + m)
+	if pick < removableOpen {
+		return Event{Op: OpDepart, Class: platform.Open, Rank: g.rng.Intn(n)}
+	}
+	return Event{Op: OpDepart, Class: platform.Guarded, Rank: g.rng.Intn(m)}
+}
+
+func (g *traceGen) rescale() Event {
+	factor := g.cfg.RescaleMin + g.rng.Float64()*(g.cfg.RescaleMax-g.cfg.RescaleMin)
+	n, m := g.scratch.N(), g.scratch.M()
+	// The source rescales with probability ~15% — bandwidth churn hits
+	// the root too, and T* tracks it immediately.
+	if g.rng.Float64() < 0.15 || n+m == 0 {
+		return Event{Op: OpRescale, Rank: -1, Factor: factor}
+	}
+	pick := g.rng.Intn(n + m)
+	if pick < n {
+		return Event{Op: OpRescale, Class: platform.Open, Rank: pick, Factor: factor}
+	}
+	return Event{Op: OpRescale, Class: platform.Guarded, Rank: pick - n, Factor: factor}
+}
+
+// burst draws 2..BurstMax arrivals/departures, validating each member
+// against a scratch clone so the whole batch applies atomically.
+func (g *traceGen) burst() Event {
+	k := 2 + g.rng.Intn(g.cfg.BurstMax-1)
+	sub := make([]Event, 0, k)
+	probe := g.scratch.Clone()
+	saved := g.scratch
+	g.scratch = probe // member validity is judged against the batch so far
+	for i := 0; i < k; i++ {
+		var ev Event
+		if g.rng.Float64() < 0.5 {
+			ev = g.arrive()
+		} else {
+			ev = g.depart()
+		}
+		if err := Apply(probe, ev); err != nil {
+			// Cannot happen for events drawn against probe; skip member.
+			continue
+		}
+		sub = append(sub, ev)
+	}
+	g.scratch = saved
+	return Event{Op: OpBurst, Sub: sub}
+}

@@ -64,6 +64,7 @@ const (
 	CapBuildsScheme   = engine.CapBuildsScheme
 	CapCyclic         = engine.CapCyclic
 	CapAnytime        = engine.CapAnytime
+	CapIncremental    = engine.CapIncremental
 )
 
 // BatchOptions tunes the parallel sweep runner.
@@ -94,6 +95,34 @@ func Solve(ctx context.Context, solver string, ins *Instance) (SolveResult, erro
 // context cancellation.
 func SolveBatch(ctx context.Context, solver string, instances []*Instance, opts BatchOptions) ([]SolveResult, error) {
 	return engine.BatchByName(ctx, solver, instances, opts)
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic platforms: sessions and churn
+
+// SolveSession re-solves an evolving platform event after event on one
+// warm workspace, repairing the previous solution incrementally for
+// CapIncremental solvers (see internal/sim for the churn simulator
+// built on top). Close it when the trace ends.
+type SolveSession = engine.Session
+
+// SessionStats aggregates a session's repairs, full solves, fallbacks
+// and cumulative evaluation counters.
+type SessionStats = engine.SessionStats
+
+// NewSolveSession opens a session for a registry solver.
+func NewSolveSession(solver string) (*SolveSession, error) { return engine.NewSession(solver) }
+
+// RepairResult is an incremental re-solve's outcome: throughput,
+// scheme, winning word, the scheme's verified throughput and whether
+// the warm start fell back to a full solve.
+type RepairResult = core.RepairResult
+
+// RepairAcyclic re-solves an instance after churn, warm-starting from
+// the previous solution's encoding word and falling back to a full
+// solve when the repaired scheme's verified throughput deviates.
+func RepairAcyclic(ins *Instance, prev Word) (RepairResult, error) {
+	return core.RepairAcyclic(ins, prev)
 }
 
 // ---------------------------------------------------------------------------
