@@ -23,8 +23,12 @@ package repro_test
 
 import (
 	"context"
+	"io"
 	"math/big"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro"
@@ -35,6 +39,7 @@ import (
 	"repro/internal/generator"
 	"repro/internal/massoulie"
 	"repro/internal/schedule"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/trees"
 )
@@ -506,4 +511,33 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkServiceSolve measures one full `POST /v1/solve` round trip
+// against the broadcast-planning service (decode request → bounded
+// worker gate → pooled Execute → canonical wire encode) on the Figure 1
+// instance — the service-layer overhead on top of the microseconds-long
+// solve itself. Gated in CI via BENCH_baseline.json.
+func BenchmarkServiceSolve(b *testing.B) {
+	svc := service.New(service.Config{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	const body = `{"v":1,"instance":{"v":1,"b0":6,"open":[5,5],"guarded":[4,1,1]},"solver":"acyclic","tolerance":1e-9}`
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
 }

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+// Tiny cells keep the smoke test fast: one distribution, one p, one
+// small size, few repetitions.
+func TestSmallCellTable(t *testing.T) {
+	out, errOut, code := runCLI(t, "-reps", "10", "-sizes", "8", "-dists", "Unif100", "-probs", "0.7")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"dist", "Unif100", "0.7", "optimal acyclic ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "Unif100"); n != 1 {
+		t.Errorf("expected exactly one data row, saw %d", n)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	out, errOut, code := runCLI(t, "-reps", "5", "-sizes", "8", "-dists", "LN1", "-probs", "0.5", "-csv")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.HasPrefix(out, "dist,p,n,reps,") {
+		t.Fatalf("missing CSV header:\n%.120s", out)
+	}
+	if !strings.Contains(out, "LN1,0.5,8,5,") {
+		t.Errorf("missing LN1 data row:\n%s", out)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	args := []string{"-reps", "8", "-sizes", "10", "-dists", "Power1", "-probs", "0.9", "-csv", "-seed", "7"}
+	a, _, code := runCLI(t, args...)
+	if code != 0 {
+		t.Fatal("first run failed")
+	}
+	b, _, code := runCLI(t, args...)
+	if code != 0 || a != b {
+		t.Fatal("same seed must reproduce identical output")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, errOut, code := runCLI(t, "-dists", "Gaussian"); code != 2 || !strings.Contains(errOut, "unknown distribution") {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if _, _, code := runCLI(t, "-sizes", "1"); code != 2 {
+		t.Fatal("size < 2 should exit 2")
+	}
+	if _, _, code := runCLI(t, "-probs", "1.5"); code != 2 {
+		t.Fatal("probability > 1 should exit 2")
+	}
+}

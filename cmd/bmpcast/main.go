@@ -24,12 +24,21 @@
 //	bmpcast sim     [-seed 1] [-events 30] [-n 20] [-p 0.7] [-dist Unif100] [-solvers acyclic] [-format json|csv] [-timing] [-norepair]
 //	    Replay a seeded churn trace (arrivals, departures, rescales,
 //	    bursts) against a live platform, re-solving after every event on
-//	    warm engine sessions, and emit the deterministic event timeline.
-//	    -solvers all runs every churn-capable solver; output is
-//	    byte-identical across runs unless -timing is set.
+//	    warm engine sessions, and emit the deterministic event timeline
+//	    as a versioned wire document ("v": 1). -solvers all runs every
+//	    churn-capable solver; output is byte-identical across runs
+//	    unless -timing is set.
+//
+//	bmpcast serve   [-addr :8080] [-workers 4]
+//	    Run the broadcast-planning HTTP service: POST /v1/solve,
+//	    /v1/batch and /v1/session (wire-format Request/Plan documents),
+//	    plus /healthz and /metrics.
 //
 //	bmpcast demo fig1|fig6|57|sqrt41
 //	    Walk through the paper's showcase instances.
+//
+// solve and sweep take -wire to emit their result as a canonical wire
+// document instead of the human-readable text.
 package main
 
 import (
@@ -43,6 +52,7 @@ import (
 	"strings"
 	"time"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/distribution"
 	"repro/internal/engine"
@@ -53,6 +63,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trees"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -79,6 +90,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdSimulate(args[1:], stdout)
 	case "sim":
 		err = cmdSim(args[1:], stdout)
+	case "serve":
+		err = cmdServe(args[1:], stdout)
 	case "demo":
 		err = cmdDemo(args[1:], stdout)
 	case "-h", "--help", "help":
@@ -96,13 +109,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: bmpcast <solve|solvers|sweep|generate|simulate|sim|demo> [flags]
-  solve    -file inst.json [-solver acyclic] [-cyclic] [-verbose]
+	fmt.Fprintln(w, `usage: bmpcast <solve|solvers|sweep|generate|simulate|sim|serve|demo> [flags]
+  solve    -file inst.json [-solver acyclic] [-cyclic] [-verbose] [-wire]
   solvers
-  sweep    -dist <Unif100|Power1|Power2|LN1|LN2|PLab> -n <nodes> -p <openprob> -count <instances> [-solver acyclic-search] [-seed N] [-workers N]
+  sweep    -dist <Unif100|Power1|Power2|LN1|LN2|PLab> -n <nodes> -p <openprob> -count <instances> [-solver acyclic-search] [-seed N] [-workers N] [-wire]
   generate -dist <Unif100|Power1|Power2|LN1|LN2|PLab> -n <nodes> -p <openprob> [-seed N]
   simulate -file inst.json [-packets 300] [-seed 1]
   sim      [-seed N] [-events 30] [-n 20] [-p 0.7] [-dist Unif100] [-solvers acyclic|all|a,b,c] [-format json|csv] [-timing] [-norepair]
+  serve    [-addr :8080] [-workers 4]
   demo     fig1|fig6|57|sqrt41`)
 }
 
@@ -119,7 +133,7 @@ func loadInstance(path string) (*platform.Instance, error) {
 }
 
 func lookupDist(name string) (distribution.Distribution, error) {
-	return distribution.ByName(name)
+	return repro.DistributionByName(name)
 }
 
 func cmdSolve(args []string, stdout io.Writer) error {
@@ -128,6 +142,7 @@ func cmdSolve(args []string, stdout io.Writer) error {
 	solverName := fs.String("solver", "acyclic", "engine solver (see `bmpcast solvers`)")
 	cyclic := fs.Bool("cyclic", false, "also build the optimal cyclic scheme")
 	verbose := fs.Bool("verbose", false, "print the full edge list and a tree decomposition")
+	wireOut := fs.Bool("wire", false, "emit the plan as a versioned wire document instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,23 +153,47 @@ func cmdSolve(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *wireOut {
+		return solveWire(stdout, ins, *solverName)
+	}
 	return solve(stdout, ins, *solverName, *cyclic, *verbose)
 }
 
-func solve(out io.Writer, ins *platform.Instance, solverName string, cyclic, verbose bool) error {
-	solver, err := engine.Get(solverName)
+// solveWire answers like `POST /v1/solve` on stdout: one canonical
+// wire.Plan document (with a tree decomposition when the scheme is
+// acyclic), byte-identical across runs.
+func solveWire(out io.Writer, ins *platform.Instance, solverName string) error {
+	req := engine.NewRequest(ins, engine.WithSolver(solverName), engine.WithTolerance(1e-9))
+	plan, err := engine.Execute(context.Background(), req)
 	if err != nil {
 		return err
 	}
+	if plan.Scheme != nil && plan.Scheme.IsAcyclic() {
+		// Attach the decomposition now that we know it is acyclic
+		// (WithTrees up front would fail the request on cyclic solvers).
+		if plan.Trees, err = trees.Decompose(plan.Scheme, plan.Throughput); err != nil {
+			return err
+		}
+	}
+	data, err := wire.EncodePlan(plan)
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(data)
+	return err
+}
+
+func solve(out io.Writer, ins *platform.Instance, solverName string, cyclic, verbose bool) error {
 	ctx := context.Background()
 	fmt.Fprintf(out, "instance: %v\n", ins)
-	tstar := core.OptimalCyclicThroughput(ins)
-	fmt.Fprintf(out, "optimal cyclic throughput  T*    = %.6f  (Lemma 5.1)\n", tstar)
-	res, err := solver.Solve(ctx, ins)
+	plan, err := engine.Execute(ctx, engine.NewRequest(ins, engine.WithSolver(solverName)))
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "solver %-14s T = %.6f  (ratio %.4f", res.Solver, res.Throughput, res.Throughput/tstar)
+	tstar := plan.TStar
+	fmt.Fprintf(out, "optimal cyclic throughput  T*    = %.6f  (Lemma 5.1)\n", tstar)
+	res := plan.Result
+	fmt.Fprintf(out, "solver %-14s T = %.6f  (ratio %.4f", res.Solver, res.Throughput, plan.Ratio())
 	if len(res.Word) > 0 {
 		fmt.Fprintf(out, ", word %s", res.Word)
 	}
@@ -211,6 +250,7 @@ func cmdSweep(args []string, stdout io.Writer) error {
 	solverName := fs.String("solver", "acyclic-search", "engine solver (see `bmpcast solvers`)")
 	seed := fs.Int64("seed", 1, "RNG seed")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	wireOut := fs.Bool("wire", false, "emit the sweep report as a versioned wire document instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -247,6 +287,19 @@ func cmdSweep(args []string, stdout io.Writer) error {
 	}
 	rs := stats.Summarize(ratios)
 	ws := stats.Summarize(walls)
+	if *wireOut {
+		return writeSweepWire(stdout, sweepReport{
+			V: wire.Version, Dist: dist.Name(), N: *n, P: *p, Count: *count,
+			Solver: *solverName, Seed: *seed,
+			RatioMean: rs.Mean, RatioMedian: rs.Median, RatioP025: rs.P025, RatioMin: rs.Min,
+			Evals: wire.EvalCounts{
+				FlowEvals:   evals.FlowEvals,
+				GreedyTests: evals.GreedyTests,
+				WordEvals:   evals.WordEvals,
+				Builds:      evals.Builds,
+			},
+		})
+	}
 	fmt.Fprintf(stdout, "sweep: %d × (%s, n=%d, p=%.2f) via %s, seed %d\n",
 		*count, dist.Name(), *n, *p, *solverName, *seed)
 	fmt.Fprintf(stdout, "throughput/T*: mean %.4f median %.4f p2.5 %.4f min %.4f\n",
@@ -258,6 +311,33 @@ func cmdSweep(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "wall total %.3fs (%.0f instances/s)\n",
 		elapsed.Seconds(), float64(*count)/elapsed.Seconds())
 	return nil
+}
+
+// sweepReport is the wire form of a sweep summary ("v": 1; wall-clock
+// figures are deliberately absent so the document is byte-stable for a
+// given seed).
+type sweepReport struct {
+	V           int             `json:"v"`
+	Dist        string          `json:"dist"`
+	N           int             `json:"n"`
+	P           float64         `json:"p"`
+	Count       int             `json:"count"`
+	Solver      string          `json:"solver"`
+	Seed        int64           `json:"seed"`
+	RatioMean   float64         `json:"ratio_mean"`
+	RatioMedian float64         `json:"ratio_median"`
+	RatioP025   float64         `json:"ratio_p025"`
+	RatioMin    float64         `json:"ratio_min"`
+	Evals       wire.EvalCounts `json:"evals"`
+}
+
+func writeSweepWire(out io.Writer, rep sweepReport) error {
+	data, err := wire.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(data)
+	return err
 }
 
 func maxDepth(ts []trees.Tree) int {
@@ -382,7 +462,13 @@ func cmdSim(args []string, stdout io.Writer) error {
 	}
 	switch *format {
 	case "json":
-		return tl.WriteJSON(stdout)
+		// Versioned wire document — same codec the service speaks.
+		data, err := wire.EncodeTimeline(tl)
+		if err != nil {
+			return err
+		}
+		_, err = stdout.Write(data)
+		return err
 	case "csv":
 		return tl.WriteCSV(stdout)
 	default:

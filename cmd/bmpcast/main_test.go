@@ -1,12 +1,19 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/service"
+	"repro/internal/wire"
 )
 
 // writeFigure1 drops the paper's running example as a JSON instance
@@ -193,6 +200,86 @@ func TestSimBadFlags(t *testing.T) {
 	}
 	if _, errOut, code := runCLI(t, "sim", "-solvers", "does-not-exist"); code != 1 || !strings.Contains(errOut, "unknown solver") {
 		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+}
+
+func TestSolveWireEmitsPlanDocument(t *testing.T) {
+	file := writeFigure1(t)
+	out, errOut, code := runCLI(t, "solve", "-file", file, "-wire")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	plan, err := wire.DecodePlan([]byte(out))
+	if err != nil {
+		t.Fatalf("solve -wire output is not a wire plan: %v\n%s", err, out)
+	}
+	if plan.Solver != "acyclic" || plan.TStar != 4.4 || len(plan.Trees) == 0 {
+		t.Errorf("unexpected wire plan: %+v", plan)
+	}
+	again, _, _ := runCLI(t, "solve", "-file", file, "-wire")
+	if again != out {
+		t.Error("solve -wire output is not byte-stable")
+	}
+}
+
+func TestSweepWireEmitsReport(t *testing.T) {
+	out, errOut, code := runCLI(t, "sweep", "-count", "10", "-n", "10", "-seed", "7", "-wire")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	var rep struct {
+		V      int    `json:"v"`
+		Count  int    `json:"count"`
+		Solver string `json:"solver"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("sweep -wire output is not JSON: %v\n%s", err, out)
+	}
+	if rep.V != wire.Version || rep.Count != 10 || rep.Solver != "acyclic-search" {
+		t.Errorf("unexpected sweep report: %s", out)
+	}
+	again, _, _ := runCLI(t, "sweep", "-count", "10", "-n", "10", "-seed", "7", "-wire")
+	if again != out {
+		t.Error("sweep -wire output is not byte-stable")
+	}
+}
+
+// TestServeGolden pins the exact request and response documents the CI
+// serve-smoke step replays with curl against a live `bmpcast serve`:
+// POSTing testdata/solve_request.json must return
+// testdata/serve_golden.json byte-for-byte.
+func TestServeGolden(t *testing.T) {
+	reqBody, err := os.ReadFile(filepath.Join("testdata", "solve_request.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "serve_golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Config{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	for round := 0; round < 2; round++ {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(string(reqBody)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got strings.Builder
+		if _, err := io.Copy(&got, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: status %d: %s", round, resp.StatusCode, got.String())
+		}
+		if got.String() != string(want) {
+			t.Fatalf("round %d: /v1/solve response deviates from testdata/serve_golden.json — wire determinism broken "+
+				"(or an intentional change: regenerate by running `bmpcast serve` and curling testdata/solve_request.json)\ngot:\n%s",
+				round, got.String())
+		}
 	}
 }
 

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+// cmdServe runs the broadcast-planning HTTP service (internal/service)
+// until SIGINT/SIGTERM:
+//
+//	bmpcast serve [-addr :8080] [-workers 4]
+//
+// Endpoints: POST /v1/solve, POST /v1/batch, POST /v1/session, plus
+// GET /healthz and GET /metrics. Requests and responses are versioned
+// wire documents (internal/wire); identical requests produce
+// byte-identical responses, which the CI serve-smoke step pins against
+// a committed golden file.
+func cmdServe(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+	workers := fs.Int("workers", 4, "max concurrent solves across all endpoints")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	svc := service.New(service.Config{Workers: *workers})
+	defer svc.Close()
+	httpSrv := &http.Server{Handler: svc, ReadHeaderTimeout: 10 * time.Second}
+
+	fmt.Fprintf(stdout, "bmpcast: serving on http://%s (workers=%d)\n", ln.Addr(), *workers)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	select {
+	case sig := <-stop:
+		fmt.Fprintf(stdout, "bmpcast: %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(ctx)
+	case err := <-done:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

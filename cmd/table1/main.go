@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -17,31 +18,41 @@ import (
 )
 
 func main() {
-	T := flag.Float64("T", 4, "target throughput for the trace")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	T := fs.Float64("T", 4, "target throughput for the trace")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *T == 4 {
 		text, err := experiments.TableI()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "table1:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "table1:", err)
+			return 1
 		}
-		fmt.Print(text)
-		return
+		fmt.Fprint(stdout, text)
+		return 0
 	}
 	// Custom throughput: same instance, raw trace.
 	ins := generator.Figure1()
 	word, steps, ok := core.GreedyTestTrace(ins, *T)
 	if !ok {
-		fmt.Printf("GreedyTest(%g) = infeasible (T*_ac = 4 on this instance)\n", *T)
+		fmt.Fprintf(stdout, "GreedyTest(%g) = infeasible (T*_ac = 4 on this instance)\n", *T)
 		if len(word) > 0 {
-			fmt.Printf("failed after prefix %s\n", word)
+			fmt.Fprintf(stdout, "failed after prefix %s\n", word)
 		}
-		os.Exit(0)
+		return 0
 	}
-	fmt.Printf("GreedyTest(%g) on %v\n", *T, ins)
+	fmt.Fprintf(stdout, "GreedyTest(%g) on %v\n", *T, ins)
 	for i, st := range steps {
-		fmt.Printf("step %d: %-8s O=%-8g G=%-8g W=%-8g\n", i+1, st.Prefix, st.O, st.G, st.W)
+		fmt.Fprintf(stdout, "step %d: %-8s O=%-8g G=%-8g W=%-8g\n", i+1, st.Prefix, st.O, st.G, st.W)
 	}
-	fmt.Printf("word %s (order σ = %s)\n", word, word.OrderString(ins))
+	fmt.Fprintf(stdout, "word %s (order σ = %s)\n", word, word.OrderString(ins))
+	return 0
 }

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestDefaultTableI(t *testing.T) {
+	out, errOut, code := runCLI(t)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"Execution of Algorithm 2", "O(π)", "G(π)", "W(π)", "final word"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCustomFeasibleThroughput(t *testing.T) {
+	out, errOut, code := runCLI(t, "-T", "3.5")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "GreedyTest(3.5)") || !strings.Contains(out, "word ") {
+		t.Errorf("trace output unexpected:\n%s", out)
+	}
+}
+
+func TestInfeasibleThroughput(t *testing.T) {
+	out, errOut, code := runCLI(t, "-T", "4.5")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "infeasible") {
+		t.Errorf("expected infeasible verdict above T*_ac = 4:\n%s", out)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	_, _, code := runCLI(t, "-T", "not-a-number")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

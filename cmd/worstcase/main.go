@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -22,21 +23,30 @@ import (
 )
 
 func main() {
-	exhaustive := flag.Bool("exhaustive", false, "also brute-force all small tight homogeneous instances")
-	maxNodes := flag.Int("maxnodes", 9, "n+m cap for the exhaustive scan")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("worstcase", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exhaustive := fs.Bool("exhaustive", false, "also brute-force all small tight homogeneous instances")
+	maxNodes := fs.Int("maxnodes", 9, "n+m cap for the exhaustive scan")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	report, err := experiments.WorstCaseReport()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "worstcase:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "worstcase:", err)
+		return 1
 	}
-	fmt.Print(report)
+	fmt.Fprint(stdout, report)
 
 	if !*exhaustive {
-		return
+		return 0
 	}
-	fmt.Printf("\nExhaustive scan of tight homogeneous instances with n+m ≤ %d (Δ in 0..n):\n", *maxNodes)
+	fmt.Fprintf(stdout, "\nExhaustive scan of tight homogeneous instances with n+m ≤ %d (Δ in 0..n):\n", *maxNodes)
 	worst := 1.0
 	worstDesc := ""
 	for n := 1; n <= *maxNodes; n++ {
@@ -44,13 +54,13 @@ func main() {
 			for d := 0; d <= n; d++ {
 				ins, err := generator.TightHomogeneous(n, m, float64(d))
 				if err != nil {
-					fmt.Fprintln(os.Stderr, "worstcase:", err)
-					os.Exit(1)
+					fmt.Fprintln(stderr, "worstcase:", err)
+					return 1
 				}
 				tac, _, err := core.ExhaustiveAcyclicOptimumFloat(ins)
 				if err != nil {
-					fmt.Fprintln(os.Stderr, "worstcase:", err)
-					os.Exit(1)
+					fmt.Fprintln(stderr, "worstcase:", err)
+					return 1
 				}
 				if tac < worst {
 					worst = tac
@@ -59,5 +69,6 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("  worst exhaustive ratio: %.6f at %s (5/7 = %.6f)\n", worst, worstDesc, core.WorstCaseRatio)
+	fmt.Fprintf(stdout, "  worst exhaustive ratio: %.6f at %s (5/7 = %.6f)\n", worst, worstDesc, core.WorstCaseRatio)
+	return 0
 }

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestReport(t *testing.T) {
+	out, errOut, code := runCLI(t)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"Theorem 6.2 witness", "ratio = 0.714286", "Theorem 6.3 family"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExhaustiveSmall(t *testing.T) {
+	// n+m ≤ 5 keeps the brute-force word enumeration fast in CI.
+	out, errOut, code := runCLI(t, "-exhaustive", "-maxnodes", "5")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "worst exhaustive ratio") {
+		t.Errorf("missing scan result:\n%s", out)
+	}
+	// Theorem 6.2: nothing dips below 5/7 ≈ 0.714286.
+	if strings.Contains(out, "ratio: 0.6") || strings.Contains(out, "ratio: 0.5") {
+		t.Errorf("scan found a ratio below 5/7:\n%s", out)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if _, _, code := runCLI(t, "-maxnodes", "many"); code != 2 {
+		t.Fatal("bad flag should exit 2")
+	}
+}

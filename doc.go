@@ -25,6 +25,28 @@
 // acyclic overlays) and repro.Simulate (Massoulié-style randomized
 // broadcast on the built overlay).
 //
+// The stable public contract is the v2 Request/Plan API: one typed
+// request (instance + solver name or capability selector + functional
+// options) in, one plan (throughput, scheme, optional broadcast-tree
+// decomposition and periodic schedule, eval counters, repair
+// provenance) out, with typed sentinel errors for errors.Is branching,
+//
+//	plan, err := repro.Execute(ctx, repro.NewRequest(ins,
+//	    repro.WithSolver("acyclic"),     // or WithCapabilities(repro.CapExact|...)
+//	    repro.WithTolerance(1e-9),       // max-flow verification
+//	    repro.WithSchedule(20),          // scheme + trees + 20-block schedule
+//	))
+//	switch {
+//	case errors.Is(err, repro.ErrUnknownSolver): // fix the request
+//	case errors.Is(err, repro.ErrInfeasible):    // cannot be satisfied as stated
+//	case errors.Is(err, repro.ErrCanceled):      // deadline or cancellation
+//	}
+//
+// and it is exactly what the versioned JSON codec (internal/wire,
+// "v": 1 documents) serializes and the `bmpcast serve` HTTP service
+// (internal/service) exposes: POST /v1/solve, /v1/batch and
+// /v1/session plus /healthz and /metrics.
+//
 // Every algorithm is also reachable through the unified solver engine
 // (internal/engine): a named registry of uniform, context-aware solvers
 // plus a parallel batch runner for instance sweeps,
@@ -34,9 +56,14 @@
 //	results, _ := repro.SolveBatch(ctx, "acyclic-search", instances, repro.BatchOptions{})
 //
 // with capability filtering via repro.SelectSolvers (exact vs anytime,
-// handles-guarded, builds-scheme, cyclic).
+// handles-guarded, builds-scheme, cyclic), and dynamic platforms
+// re-solve event-by-event on warm sessions (repro.NewSolveSession,
+// incremental repair for CapIncremental solvers).
 //
-// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
-// paper-versus-measured record of every table and figure, and the
-// examples/ directory for runnable walk-throughs.
+// See DESIGN.md for the system inventory (including "API v2 and the
+// service layer": the Request/Plan contract, the wire versioning
+// policy and the deprecation path for the flat facade), EXPERIMENTS.md
+// for the paper-versus-measured record of every table and figure plus
+// a curl-able service example, and the examples/ directory for
+// runnable walk-throughs.
 package repro

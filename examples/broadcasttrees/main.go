@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,17 +15,19 @@ import (
 )
 
 func main() {
+	// One Request answers everything at once: overlay + decomposition
+	// (the v2 API; repro.SolveAcyclic / repro.DecomposeTrees remain as
+	// the step-by-step spelling of the same pipeline).
 	ins := repro.Figure1Instance()
-	T, scheme, err := repro.SolveAcyclic(ins)
+	plan, err := repro.Execute(context.Background(),
+		repro.NewRequest(ins, repro.WithTrees(), repro.WithTolerance(1e-9)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("instance %v\noverlay at T = %.2f with %d edges\n\n", ins, T, scheme.NumEdges())
+	T, scheme, ts := plan.Throughput, plan.Scheme, plan.Trees
+	fmt.Printf("instance %v\noverlay at T = %.2f with %d edges (max-flow verified %.2f)\n\n",
+		ins, T, scheme.NumEdges(), plan.Verified)
 
-	ts, err := repro.DecomposeTrees(scheme, T)
-	if err != nil {
-		log.Fatal(err)
-	}
 	if err := repro.VerifyTrees(scheme, T, ts); err != nil {
 		log.Fatal(err)
 	}

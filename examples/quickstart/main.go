@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,4 +53,22 @@ func main() {
 			i, ins.KindOf(i), ins.Bandwidth(i), scheme.OutRate(i), scheme.OutDegree(i),
 			repro.DegreeLowerBound(ins.Bandwidth(i), tac))
 	}
+
+	// The same pipeline through the v2 Request/Plan API: one typed
+	// request in, one plan out — overlay, tree decomposition and a
+	// 20-block periodic transmission schedule, max-flow verified. This
+	// is the contract `bmpcast serve` exposes over HTTP as versioned
+	// JSON (POST /v1/solve).
+	plan, err := repro.Execute(context.Background(), repro.NewRequest(ins,
+		repro.WithSolver("acyclic"),
+		repro.WithTolerance(1e-9),
+		repro.WithSchedule(20),
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nRequest/Plan API: T = %.2f (ratio %.3f of T* = %.2f), verified %.2f\n",
+		plan.Throughput, plan.Ratio(), plan.TStar, plan.Verified)
+	fmt.Printf("artifacts: %d trees, %d scheduled transmissions over %d blocks\n",
+		len(plan.Trees), len(plan.Schedule.Transmissions), plan.Schedule.Blocks)
 }

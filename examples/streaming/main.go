@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -31,13 +32,16 @@ func main() {
 	ins := repro.MustInstance(20, open, guarded)
 	fmt.Println("swarm:", ins)
 
-	tstar := repro.OptimalCyclicThroughput(ins)
-	tac, scheme, err := repro.SolveAcyclic(ins)
+	// One v2 Request computes the overlay, its cyclic bound T* and the
+	// max-flow verification in a single call.
+	plan, err := repro.Execute(context.Background(),
+		repro.NewRequest(ins, repro.WithScheme(), repro.WithTolerance(1e-9)))
 	if err != nil {
 		log.Fatal(err)
 	}
+	tstar, tac, scheme := plan.TStar, plan.Throughput, plan.Scheme
 	fmt.Printf("stream rate: optimal %.3f, acyclic overlay %.3f (%.1f%% of optimal)\n",
-		tstar, tac, 100*tac/tstar)
+		tstar, tac, 100*plan.Ratio())
 	fmt.Printf("overlay: %d TCP connections total, max per node %d\n",
 		scheme.NumEdges(), scheme.MaxOutDegree())
 

@@ -1,11 +1,17 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"repro/internal/platform"
 )
+
+// ErrInvalidWord reports a word string with letters outside the
+// 'o'/'g' alphabet; ParseWord failures wrap it, so callers branch with
+// errors.Is instead of matching the message.
+var ErrInvalidWord = errors.New("core: invalid word")
 
 // Word encodes an increasing order on the nodes (Section IV-A): position
 // k holds Open ('○') when the k-th node of the order is the next unused
@@ -28,7 +34,7 @@ func ParseWord(s string) (Word, error) {
 		case ' ', '\t':
 			// separators allowed
 		default:
-			return nil, fmt.Errorf("core: invalid word letter %q", r)
+			return nil, fmt.Errorf("%w: letter %q", ErrInvalidWord, r)
 		}
 	}
 	return w, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -18,6 +19,9 @@ func TestParseWordGlyphs(t *testing.T) {
 	}
 	if _, err := ParseWord("ox"); err == nil {
 		t.Fatal("expected error on invalid letter")
+	} else if !errors.Is(err, ErrInvalidWord) {
+		// Part of the v2 API contract: rejections are typed, not stringly.
+		t.Fatalf("err = %v, want ErrInvalidWord in chain", err)
 	}
 }
 

@@ -68,18 +68,35 @@ var capNames = []struct {
 // Has reports whether c includes every bit of want.
 func (c Capability) Has(want Capability) bool { return c&want == want }
 
-// String renders the capability set as "exact|handles-guarded|...".
-func (c Capability) String() string {
+// Names returns the capability names set in c, in declaration order —
+// the wire representation of a capability selector.
+func (c Capability) Names() []string {
 	var parts []string
 	for _, cn := range capNames {
 		if c.Has(cn.c) {
 			parts = append(parts, cn.name)
 		}
 	}
-	if len(parts) == 0 {
-		return "none"
+	return parts
+}
+
+// ParseCapability resolves one capability name ("exact",
+// "handles-guarded", ...) to its bit.
+func ParseCapability(name string) (Capability, error) {
+	for _, cn := range capNames {
+		if cn.name == name {
+			return cn.c, nil
+		}
 	}
-	return strings.Join(parts, "|")
+	return 0, fmt.Errorf("engine: unknown capability %q", name)
+}
+
+// String renders the capability set as "exact|handles-guarded|...".
+func (c Capability) String() string {
+	if parts := c.Names(); len(parts) > 0 {
+		return strings.Join(parts, "|")
+	}
+	return "none"
 }
 
 // Result is the uniform outcome of one Solve call.
@@ -292,7 +309,7 @@ func (r *Registry) Get(name string) (Solver, error) {
 	if s, ok := r.solvers[name]; ok {
 		return s, nil
 	}
-	return nil, fmt.Errorf("engine: unknown solver %q (known: %s)", name, strings.Join(r.names(), ", "))
+	return nil, fmt.Errorf("%w %q (known: %s)", ErrUnknownSolver, name, strings.Join(r.names(), ", "))
 }
 
 // Names returns all registered names, sorted.

@@ -48,7 +48,7 @@ func init() {
 		CapExact|CapBuildsScheme,
 		func(ins *platform.Instance, ws *core.Workspace) (Result, error) {
 			if ins.M() > 0 {
-				return Result{}, fmt.Errorf("requires an open-only instance (m = %d)", ins.M())
+				return Result{}, fmt.Errorf("%w: requires an open-only instance (m = %d)", ErrInfeasible, ins.M())
 			}
 			T := core.AcyclicOpenOptimalThroughput(ins)
 			s, err := core.AcyclicOpen(ins, T)

@@ -92,8 +92,9 @@ func Figure7Ctx(ctx context.Context, maxN, maxM, stride, deltaSamples int) ([]Fi
 	if deltaSamples < 1 {
 		deltaSamples = 1
 	}
-	solver, err := engine.Get("acyclic-search")
-	if err != nil {
+	// Resolve the name once up front so a typo fails fast, then dispatch
+	// per-sample through the Request/Plan API.
+	if _, err := engine.Get("acyclic-search"); err != nil {
 		return nil, err
 	}
 	type nm struct{ n, m int }
@@ -104,8 +105,8 @@ func Figure7Ctx(ctx context.Context, maxN, maxM, stride, deltaSamples int) ([]Fi
 		}
 	}
 	cells := make([]Figure7Cell, len(grid))
-	err = engine.ForEach(ctx, len(grid), 0, func(ctx context.Context, i int) error {
-		ratio, err := figure7Cell(ctx, solver, grid[i].n, grid[i].m, deltaSamples)
+	err := engine.ForEach(ctx, len(grid), 0, func(ctx context.Context, i int) error {
+		ratio, err := figure7Cell(ctx, grid[i].n, grid[i].m, deltaSamples)
 		if err != nil {
 			return err
 		}
@@ -118,7 +119,7 @@ func Figure7Ctx(ctx context.Context, maxN, maxM, stride, deltaSamples int) ([]Fi
 	return cells, nil
 }
 
-func figure7Cell(ctx context.Context, solver engine.Solver, n, m, deltaSamples int) (float64, error) {
+func figure7Cell(ctx context.Context, n, m, deltaSamples int) (float64, error) {
 	worst := 1.0
 	samples := deltaSamples
 	if m == 0 {
@@ -133,13 +134,13 @@ func figure7Cell(ctx context.Context, solver engine.Solver, n, m, deltaSamples i
 		if err != nil {
 			return 0, err
 		}
-		res, err := solver.Solve(ctx, ins)
+		plan, err := engine.Execute(ctx, engine.NewRequest(ins, engine.WithSolver("acyclic-search")))
 		if err != nil {
 			return 0, err
 		}
 		// T* = 1 by construction; the ratio is T*_ac itself.
-		if res.Throughput < worst {
-			worst = res.Throughput
+		if plan.Throughput < worst {
+			worst = plan.Throughput
 		}
 	}
 	return worst, nil

@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/distribution"
-	"repro/internal/engine"
 	"repro/internal/generator"
 )
 
@@ -55,11 +54,7 @@ func TestFigure7SmallGrid(t *testing.T) {
 func TestFigure7ValleyNearSqrt41(t *testing.T) {
 	// Along m ≈ 0.425·n the ratio stays below 1 even for larger n
 	// (Theorem 6.3); check n = 40, m = 17.
-	solver, err := engine.Get("acyclic-search")
-	if err != nil {
-		t.Fatal(err)
-	}
-	ratio, err := figure7Cell(context.Background(), solver, 40, 17, 9)
+	ratio, err := figure7Cell(context.Background(), 40, 17, 9)
 	if err != nil {
 		t.Fatal(err)
 	}

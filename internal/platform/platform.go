@@ -81,17 +81,23 @@ func prefixSums(seed float64, bs []float64) []float64 {
 	return pre
 }
 
+// ErrInvalidInstance reports bandwidth data that cannot form an
+// instance (negative, NaN or infinite values; a non-positive source
+// with receivers present). NewInstance and Validate failures wrap it,
+// so callers branch with errors.Is instead of matching messages.
+var ErrInvalidInstance = errors.New("platform: invalid instance")
+
 // NewInstance builds an instance, copying and sorting the bandwidth
-// slices (non-increasing). It returns an error if any bandwidth is
-// negative, NaN or infinite, or if the source bandwidth is not positive
-// while receivers exist.
+// slices (non-increasing). It returns an error wrapping
+// ErrInvalidInstance if any bandwidth is negative, NaN or infinite, or
+// if the source bandwidth is not positive while receivers exist.
 func NewInstance(b0 float64, open, guarded []float64) (*Instance, error) {
 	check := func(name string, v float64) error {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("platform: %s bandwidth %v is not finite", name, v)
+			return fmt.Errorf("%w: %s bandwidth %v is not finite", ErrInvalidInstance, name, v)
 		}
 		if v < 0 {
-			return fmt.Errorf("platform: %s bandwidth %v is negative", name, v)
+			return fmt.Errorf("%w: %s bandwidth %v is negative", ErrInvalidInstance, name, v)
 		}
 		return nil
 	}
@@ -99,7 +105,7 @@ func NewInstance(b0 float64, open, guarded []float64) (*Instance, error) {
 		return nil, err
 	}
 	if b0 <= 0 && len(open)+len(guarded) > 0 {
-		return nil, errors.New("platform: source bandwidth must be positive when receivers exist")
+		return nil, fmt.Errorf("%w: source bandwidth must be positive when receivers exist", ErrInvalidInstance)
 	}
 	ins := &Instance{
 		B0:        b0,
@@ -258,18 +264,18 @@ func (ins *Instance) RatBandwidths() []*big.Rat {
 // Validate re-checks the invariants (useful after deserialization).
 func (ins *Instance) Validate() error {
 	if math.IsNaN(ins.B0) || math.IsInf(ins.B0, 0) || ins.B0 < 0 {
-		return fmt.Errorf("platform: invalid source bandwidth %v", ins.B0)
+		return fmt.Errorf("%w: invalid source bandwidth %v", ErrInvalidInstance, ins.B0)
 	}
 	if ins.B0 <= 0 && ins.Total() > 1 {
-		return errors.New("platform: source bandwidth must be positive when receivers exist")
+		return fmt.Errorf("%w: source bandwidth must be positive when receivers exist", ErrInvalidInstance)
 	}
 	checkSorted := func(name string, bs []float64) error {
 		for i, v := range bs {
 			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
-				return fmt.Errorf("platform: invalid %s bandwidth %v at rank %d", name, v, i)
+				return fmt.Errorf("%w: invalid %s bandwidth %v at rank %d", ErrInvalidInstance, name, v, i)
 			}
 			if i > 0 && bs[i-1] < v {
-				return fmt.Errorf("platform: %s bandwidths not sorted non-increasing at rank %d (%v < %v)", name, i, bs[i-1], v)
+				return fmt.Errorf("%w: %s bandwidths not sorted non-increasing at rank %d (%v < %v)", ErrInvalidInstance, name, i, bs[i-1], v)
 			}
 		}
 		return nil

@@ -2,6 +2,7 @@ package platform
 
 import (
 	"encoding/json"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -40,9 +41,22 @@ func TestNewInstanceRejects(t *testing.T) {
 		{0, []float64{1}, nil}, // zero source with receivers
 	}
 	for i, c := range cases {
-		if _, err := NewInstance(c.b0, c.open, c.guarded); err == nil {
+		_, err := NewInstance(c.b0, c.open, c.guarded)
+		if err == nil {
 			t.Errorf("case %d: expected error", i)
+			continue
 		}
+		// Part of the v2 API contract: rejections are typed, not stringly.
+		if !errors.Is(err, ErrInvalidInstance) {
+			t.Errorf("case %d: err = %v, want ErrInvalidInstance in chain", i, err)
+		}
+	}
+}
+
+func TestValidateWrapsTypedError(t *testing.T) {
+	ins := &Instance{B0: 5, OpenBW: []float64{1, 3}} // unsorted, built by hand
+	if err := ins.Validate(); !errors.Is(err, ErrInvalidInstance) {
+		t.Fatalf("Validate err = %v, want ErrInvalidInstance in chain", err)
 	}
 }
 

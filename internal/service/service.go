@@ -1,0 +1,562 @@
+// Package service exposes the Request/Plan API over HTTP — the
+// broadcast-planning daemon behind `bmpcast serve`. Endpoints:
+//
+//	POST /v1/solve    one wire.Request  → one wire.Plan
+//	POST /v1/batch    {"v":1,"requests":[...]} → {"v":1,"plans":[...]}
+//	POST /v1/session  stateful churn re-solve: {"op":"open"} issues a
+//	                  session id backed by a warm engine.Session;
+//	                  {"op":"resolve"} re-solves the posted instance
+//	                  incrementally; {"op":"close"} returns the session
+//	                  statistics and releases the workspace
+//	GET  /healthz     liveness probe ("ok")
+//	GET  /metrics     plain-text counters (requests, errors, inflight,
+//	                  open sessions, leased workspaces)
+//
+// All solve work funnels through one bounded worker gate (Config.
+// Workers permits), so a burst of concurrent requests shares the
+// engine's pooled workspaces instead of growing them without bound —
+// the PR 2 zero-allocation hot path survives under load, and
+// engine.LeasedWorkspaces() returns to its baseline once the last
+// response is written and every session is closed.
+//
+// Responses are canonical wire documents: identical requests produce
+// byte-identical bodies (golden-tested, and pinned by the CI service
+// smoke step). Errors are JSON too — {"v":1,"error":...} with the
+// status code mapped from the engine's typed sentinels
+// (ErrUnknownSolver/ErrMalformed → 400/422, ErrInfeasible → 422,
+// ErrCanceled → 504).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/platform"
+	"repro/internal/wire"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers caps the number of solves running concurrently across all
+	// endpoints; ≤ 0 means 4 (a small multiple of the 1–2 vCPUs the
+	// service is benchmarked on).
+	Workers int
+	// Registry resolves solver names; nil means engine.Default.
+	Registry *engine.Registry
+	// MaxBodyBytes bounds request bodies; ≤ 0 means 8 MiB.
+	MaxBodyBytes int64
+}
+
+// Server is the broadcast-planning HTTP service. Create with New; it
+// implements http.Handler. Close releases all open sessions.
+type Server struct {
+	cfg  Config
+	gate chan struct{}
+	mux  *http.ServeMux
+
+	mu        sync.Mutex
+	sessions  map[string]*session
+	nextID    int64
+	closed    bool
+	requests  map[string]*atomic.Int64 // per-endpoint request counters
+	errorsN   atomic.Int64
+	inflightN atomic.Int64
+}
+
+// session serializes access to one engine.Session (sessions are
+// single-threaded by contract; concurrent resolves on one id queue up).
+type session struct {
+	mu  sync.Mutex
+	ses *engine.Session
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = engine.Default
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	s := &Server{
+		cfg:      cfg,
+		gate:     make(chan struct{}, cfg.Workers),
+		mux:      http.NewServeMux(),
+		sessions: make(map[string]*session),
+		requests: make(map[string]*atomic.Int64),
+	}
+	for _, ep := range []string{"solve", "batch", "session", "healthz", "metrics"} {
+		s.requests[ep] = new(atomic.Int64)
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/session", s.handleSession)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close releases every open session's workspace back to the engine
+// pool. The server rejects session opens afterwards.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	open := make([]*session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		open = append(open, ss)
+	}
+	s.sessions = make(map[string]*session)
+	s.mu.Unlock()
+	for _, ss := range open {
+		ss.mu.Lock()
+		ss.ses.Close()
+		ss.mu.Unlock()
+	}
+}
+
+// OpenSessions reports how many sessions are currently open.
+func (s *Server) OpenSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// acquire takes a worker permit, honoring request cancellation.
+func (s *Server) acquire(r *http.Request) error {
+	select {
+	case s.gate <- struct{}{}:
+		return nil
+	case <-r.Context().Done():
+		return r.Context().Err()
+	}
+}
+
+func (s *Server) release() { <-s.gate }
+
+// errorDoc is the wire form of a failed request.
+type errorDoc struct {
+	V     int    `json:"v"`
+	Error string `json:"error"`
+}
+
+// statusFor maps decode and engine errors to HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, wire.ErrVersion), errors.Is(err, wire.ErrMalformed):
+		return http.StatusBadRequest
+	case errors.Is(err, engine.ErrUnknownSolver):
+		return http.StatusBadRequest
+	case errors.Is(err, engine.ErrInfeasible):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, engine.ErrCanceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	s.errorsN.Add(1)
+	doc, mErr := wireMarshal(errorDoc{V: wire.Version, Error: err.Error()})
+	if mErr != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(statusFor(err))
+	_, _ = w.Write(doc)
+}
+
+func (s *Server) reply(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+// readBody drains the (size-capped) request body.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading body: %v", wire.ErrMalformed, err)
+	}
+	return body, nil
+}
+
+func (s *Server) track(ep string) func() {
+	s.requests[ep].Add(1)
+	s.inflightN.Add(1)
+	return func() { s.inflightN.Add(-1) }
+}
+
+// ---------------------------------------------------------------------------
+// /v1/solve
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	defer s.track("solve")()
+	body, err := s.readBody(w, r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	req, err := wire.DecodeRequest(body)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if err := s.acquire(r); err != nil {
+		s.fail(w, engineCanceled(err))
+		return
+	}
+	plan, err := s.cfg.Registry.Execute(r.Context(), req)
+	s.release()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	out, err := wire.EncodePlan(plan)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.reply(w, out)
+}
+
+// engineCanceled tags a raw context error with the engine sentinel so
+// statusFor maps it consistently.
+func engineCanceled(err error) error {
+	if errors.Is(err, engine.ErrCanceled) {
+		return err
+	}
+	return errors.Join(engine.ErrCanceled, err)
+}
+
+// ---------------------------------------------------------------------------
+// /v1/batch
+
+// batchRequest is the wire form of a batch call.
+type batchRequest struct {
+	V        int            `json:"v"`
+	Requests []wire.Request `json:"requests"`
+}
+
+// batchResponse is the wire form of a batch answer; plans[i] answers
+// requests[i].
+type batchResponse struct {
+	V     int         `json:"v"`
+	Plans []wire.Plan `json:"plans"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	defer s.track("batch")()
+	body, err := s.readBody(w, r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	var breq batchRequest
+	if err := wireUnmarshal(body, &breq, "batch request"); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if breq.V != wire.Version {
+		s.fail(w, fmt.Errorf("%w: batch request has v=%d", wire.ErrVersion, breq.V))
+		return
+	}
+	reqs := make([]engine.Request, len(breq.Requests))
+	for i, wr := range breq.Requests {
+		if reqs[i], err = wr.Request(); err != nil {
+			s.fail(w, fmt.Errorf("request %d: %w", i, err))
+			return
+		}
+	}
+	plans, err := s.executeBatch(r, reqs)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	resp := batchResponse{V: wire.Version, Plans: make([]wire.Plan, len(plans))}
+	for i, p := range plans {
+		resp.Plans[i] = wire.FromPlan(p)
+	}
+	out, err := wireMarshal(resp)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.reply(w, out)
+}
+
+// executeBatch runs every request through the shared worker gate — one
+// permit per in-flight solve, never one per batch — so concurrent
+// batches and solves together stay within Config.Workers. Plans land
+// at their request index; the first error (lowest index) wins and
+// cancels the rest.
+func (s *Server) executeBatch(r *http.Request, reqs []engine.Request) ([]*engine.Plan, error) {
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	plans := make([]*engine.Plan, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		select {
+		case s.gate <- struct{}{}:
+		case <-ctx.Done():
+			errs[i] = engineCanceled(ctx.Err())
+		}
+		if errs[i] != nil {
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer s.release()
+			p, err := s.cfg.Registry.Execute(ctx, reqs[i])
+			if err != nil {
+				errs[i] = err
+				cancel() // stop handing out new permits
+				return
+			}
+			plans[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+	return plans, nil
+}
+
+// ---------------------------------------------------------------------------
+// /v1/session
+
+// sessionRequest is the wire form of a session call.
+type sessionRequest struct {
+	V       int    `json:"v"`
+	Op      string `json:"op"` // open | resolve | close
+	Session string `json:"session,omitempty"`
+	// Solver names the engine solver for "open" (default "acyclic").
+	Solver string `json:"solver,omitempty"`
+	// NoRepair disables the incremental-repair path for "open".
+	NoRepair bool `json:"no_repair,omitempty"`
+	// Instance is the platform state to re-solve for "resolve".
+	Instance wire.Instance `json:"instance"`
+}
+
+// sessionStats is the deterministic projection of engine.SessionStats.
+type sessionStats struct {
+	Events     int             `json:"events"`
+	Repairs    int             `json:"repairs"`
+	FullSolves int             `json:"full_solves"`
+	Fallbacks  int             `json:"fallbacks"`
+	Evals      wire.EvalCounts `json:"evals"`
+}
+
+// sessionResponse answers every session op: open returns the id,
+// resolve returns the plan (and running stats), close returns the
+// final stats.
+type sessionResponse struct {
+	V       int           `json:"v"`
+	Session string        `json:"session"`
+	Solver  string        `json:"solver,omitempty"`
+	Plan    *wire.Plan    `json:"plan,omitempty"`
+	Stats   *sessionStats `json:"stats,omitempty"`
+}
+
+func statsOf(ses *engine.Session) *sessionStats {
+	st := ses.Stats()
+	return &sessionStats{
+		Events:     st.Events,
+		Repairs:    st.Repairs,
+		FullSolves: st.FullSolves,
+		Fallbacks:  st.Fallbacks,
+		Evals: wire.EvalCounts{
+			FlowEvals:   st.Evals.FlowEvals,
+			GreedyTests: st.Evals.GreedyTests,
+			WordEvals:   st.Evals.WordEvals,
+			Builds:      st.Evals.Builds,
+		},
+	}
+}
+
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	defer s.track("session")()
+	body, err := s.readBody(w, r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	var sreq sessionRequest
+	if err := wireUnmarshal(body, &sreq, "session request"); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if sreq.V != wire.Version {
+		s.fail(w, fmt.Errorf("%w: session request has v=%d", wire.ErrVersion, sreq.V))
+		return
+	}
+	switch sreq.Op {
+	case "open":
+		s.sessionOpen(w, sreq)
+	case "resolve":
+		s.sessionResolve(w, r, sreq)
+	case "close":
+		s.sessionClose(w, sreq)
+	default:
+		s.fail(w, fmt.Errorf("%w: unknown session op %q (open|resolve|close)", wire.ErrMalformed, sreq.Op))
+	}
+}
+
+func (s *Server) sessionOpen(w http.ResponseWriter, sreq sessionRequest) {
+	solver := sreq.Solver
+	if solver == "" {
+		solver = "acyclic"
+	}
+	ses, err := engine.NewSessionFor(s.cfg.Registry, solver)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if sreq.NoRepair {
+		ses.SetRepair(false)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ses.Close()
+		s.fail(w, fmt.Errorf("%w: server is shutting down", engine.ErrCanceled))
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("s%d", s.nextID)
+	s.sessions[id] = &session{ses: ses}
+	s.mu.Unlock()
+	s.replyDoc(w, sessionResponse{V: wire.Version, Session: id, Solver: ses.Solver()})
+}
+
+func (s *Server) lookup(id string) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss := s.sessions[id]
+	if ss == nil {
+		return nil, fmt.Errorf("%w: no open session %q", wire.ErrMalformed, id)
+	}
+	return ss, nil
+}
+
+func (s *Server) sessionResolve(w http.ResponseWriter, r *http.Request, sreq sessionRequest) {
+	ss, err := s.lookup(sreq.Session)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ins, err := sreq.Instance.Instance()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	// Serialize on the session first, then take a worker permit: a
+	// queue of resolves on one (single-threaded) session must not sit
+	// on gate permits it cannot use while other endpoints starve.
+	ss.mu.Lock()
+	if err := s.acquire(r); err != nil {
+		ss.mu.Unlock()
+		s.fail(w, engineCanceled(err))
+		return
+	}
+	res, err := ss.ses.Resolve(r.Context(), ins)
+	s.release()
+	stats := statsOf(ss.ses)
+	solver := ss.ses.Solver()
+	ss.mu.Unlock()
+	if err != nil {
+		// Session.Resolve surfaces raw context errors; tag them so the
+		// status maps to 504 like every other canceled solve.
+		if r.Context().Err() != nil {
+			err = engineCanceled(err)
+		}
+		s.fail(w, err)
+		return
+	}
+	plan := wire.FromPlan(&engine.Plan{Result: res, TStar: tstarOf(ins)})
+	s.replyDoc(w, sessionResponse{
+		V: wire.Version, Session: sreq.Session, Solver: solver, Plan: &plan, Stats: stats,
+	})
+}
+
+func (s *Server) sessionClose(w http.ResponseWriter, sreq sessionRequest) {
+	s.mu.Lock()
+	ss := s.sessions[sreq.Session]
+	delete(s.sessions, sreq.Session)
+	s.mu.Unlock()
+	if ss == nil {
+		s.fail(w, fmt.Errorf("%w: no open session %q", wire.ErrMalformed, sreq.Session))
+		return
+	}
+	ss.mu.Lock()
+	stats := statsOf(ss.ses)
+	solver := ss.ses.Solver()
+	ss.ses.Close()
+	ss.mu.Unlock()
+	s.replyDoc(w, sessionResponse{V: wire.Version, Session: sreq.Session, Solver: solver, Stats: stats})
+}
+
+func (s *Server) replyDoc(w http.ResponseWriter, doc any) {
+	out, err := wireMarshal(doc)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.reply(w, out)
+}
+
+// ---------------------------------------------------------------------------
+// /healthz and /metrics
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	defer s.track("healthz")()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	defer s.track("metrics")()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	eps := make([]string, 0, len(s.requests))
+	for ep := range s.requests {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		fmt.Fprintf(w, "bmpcast_requests_total{endpoint=%q} %d\n", ep, s.requests[ep].Load())
+	}
+	fmt.Fprintf(w, "bmpcast_errors_total %d\n", s.errorsN.Load())
+	fmt.Fprintf(w, "bmpcast_inflight %d\n", s.inflightN.Load())
+	fmt.Fprintf(w, "bmpcast_sessions_open %d\n", s.OpenSessions())
+	fmt.Fprintf(w, "bmpcast_workspaces_leased %d\n", engine.LeasedWorkspaces())
+	fmt.Fprintf(w, "bmpcast_worker_permits %d\n", s.cfg.Workers)
+}
+
+// ---------------------------------------------------------------------------
+// small shims over the wire codec's canonical marshaling
+
+func wireMarshal(v any) ([]byte, error) { return wire.Marshal(v) }
+
+func wireUnmarshal(data []byte, v any, what string) error { return wire.Unmarshal(data, v, what) }
+
+// tstarOf is the cyclic optimum used to normalize session plans.
+func tstarOf(ins *platform.Instance) float64 { return core.OptimalCyclicThroughput(ins) }

@@ -1,0 +1,340 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/wire"
+)
+
+const fig1Request = `{"v":1,"instance":{"v":1,"b0":6,"open":[5,5],"guarded":[4,1,1]},"solver":"acyclic","tolerance":1e-9}`
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(Config{Workers: 4})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts
+}
+
+func post(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func TestSolveEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := post(t, ts.URL+"/v1/solve", fig1Request)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	plan, err := wire.DecodePlan(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Solver != "acyclic" || plan.TStar != 4.4 || plan.Verified == 0 {
+		t.Errorf("unexpected plan: %+v", plan)
+	}
+	if d := plan.Throughput - 4; d < -1e-6 || d > 1e-6 {
+		t.Errorf("Throughput = %v, want ≈4", plan.Throughput)
+	}
+}
+
+func TestSolveByteStableUnderConcurrency(t *testing.T) {
+	_, ts := newTestServer(t)
+	const clients = 16
+	bodies := make([][]byte, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(fig1Request))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				bodies[i], _ = io.ReadAll(resp.Body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if bodies[i] == nil {
+			t.Fatalf("client %d got no 200 response", i)
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("responses diverge between clients:\n%s\nvs\n%s", bodies[i], bodies[0])
+		}
+	}
+}
+
+func TestSolveErrorsAreTypedStatuses(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{`, http.StatusBadRequest},
+		{`{"v":2,"instance":{"v":1,"b0":5}}`, http.StatusBadRequest},
+		{`{"v":1,"instance":{"v":1,"b0":5},"solver":"nope"}`, http.StatusBadRequest},
+		{`{"v":1,"instance":{"v":1,"b0":6,"open":[5,5],"guarded":[4,1,1]},"solver":"acyclic-open"}`, http.StatusUnprocessableEntity},
+		{`{"v":1,"instance":{"v":1,"b0":6,"open":[5,5]},"solver":"cyclic-bound","want_trees":true}`, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		code, body := post(t, ts.URL+"/v1/solve", c.body)
+		if code != c.want {
+			t.Errorf("%s → status %d, want %d (%s)", c.body, code, c.want, body)
+		}
+		var ed struct {
+			V     int    `json:"v"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &ed); err != nil || ed.V != wire.Version || ed.Error == "" {
+			t.Errorf("error body not a wire error doc: %s", body)
+		}
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var reqs []string
+	for i := 0; i < 6; i++ {
+		reqs = append(reqs, fmt.Sprintf(`{"v":1,"instance":{"v":1,"b0":6,"open":[5,5,%d],"guarded":[4,1,1]},"solver":"acyclic"}`, i+1))
+	}
+	body := `{"v":1,"requests":[` + strings.Join(reqs, ",") + `]}`
+	code, data := post(t, ts.URL+"/v1/batch", body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	var resp struct {
+		V     int         `json:"v"`
+		Plans []wire.Plan `json:"plans"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.V != wire.Version || len(resp.Plans) != 6 {
+		t.Fatalf("batch answered %d plans: %s", len(resp.Plans), data)
+	}
+	for i, p := range resp.Plans {
+		if p.Throughput <= 0 {
+			t.Errorf("plan %d empty: %+v", i, p)
+		}
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	srv, ts := newTestServer(t)
+	code, data := post(t, ts.URL+"/v1/session", `{"v":1,"op":"open","solver":"acyclic"}`)
+	if code != http.StatusOK {
+		t.Fatalf("open: status %d: %s", code, data)
+	}
+	var opened struct {
+		Session string `json:"session"`
+		Solver  string `json:"solver"`
+	}
+	if err := json.Unmarshal(data, &opened); err != nil || opened.Session == "" {
+		t.Fatalf("open response: %s", data)
+	}
+	if srv.OpenSessions() != 1 {
+		t.Fatalf("OpenSessions = %d, want 1", srv.OpenSessions())
+	}
+
+	// Two resolves on an evolving platform: the second should take the
+	// incremental-repair path (same session carries the word across).
+	resolve := func(instance string) (int, []byte) {
+		return post(t, ts.URL+"/v1/session",
+			`{"v":1,"op":"resolve","session":"`+opened.Session+`","instance":`+instance+`}`)
+	}
+	code, data = resolve(`{"v":1,"b0":6,"open":[5,5],"guarded":[4,1,1]}`)
+	if code != http.StatusOK {
+		t.Fatalf("resolve 1: status %d: %s", code, data)
+	}
+	code, data = resolve(`{"v":1,"b0":6,"open":[5,5,3],"guarded":[4,1,1]}`)
+	if code != http.StatusOK {
+		t.Fatalf("resolve 2: status %d: %s", code, data)
+	}
+	var r2 struct {
+		Plan  *wire.Plan `json:"plan"`
+		Stats *struct {
+			Events  int `json:"events"`
+			Repairs int `json:"repairs"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(data, &r2); err != nil || r2.Plan == nil || r2.Stats == nil {
+		t.Fatalf("resolve 2 response: %s", data)
+	}
+	if r2.Stats.Events != 2 {
+		t.Errorf("session events = %d, want 2", r2.Stats.Events)
+	}
+	if !r2.Plan.Repaired || r2.Stats.Repairs == 0 {
+		t.Errorf("second resolve should repair incrementally: %s", data)
+	}
+
+	code, data = post(t, ts.URL+"/v1/session", `{"v":1,"op":"close","session":"`+opened.Session+`"}`)
+	if code != http.StatusOK {
+		t.Fatalf("close: status %d: %s", code, data)
+	}
+	if srv.OpenSessions() != 0 {
+		t.Fatalf("OpenSessions = %d after close, want 0", srv.OpenSessions())
+	}
+	// Resolve on a closed session is a client error.
+	if code, _ = resolve(`{"v":1,"b0":6,"open":[5,5]}`); code != http.StatusBadRequest {
+		t.Fatalf("resolve on closed session: status %d, want 400", code)
+	}
+}
+
+func TestSessionConcurrentResolves(t *testing.T) {
+	_, ts := newTestServer(t)
+	_, data := post(t, ts.URL+"/v1/session", `{"v":1,"op":"open"}`)
+	var opened struct {
+		Session string `json:"session"`
+	}
+	if err := json.Unmarshal(data, &opened); err != nil {
+		t.Fatal(err)
+	}
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"v":1,"op":"resolve","session":%q,"instance":{"v":1,"b0":6,"open":[5,5,%d],"guarded":[4,1,1]}}`,
+				opened.Session, i+1)
+			resp, err := http.Post(ts.URL+"/v1/session", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(resp.Body)
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, b)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	// All resolves landed on one serialized session.
+	_, data = post(t, ts.URL+"/v1/session", `{"v":1,"op":"close","session":"`+opened.Session+`"}`)
+	var closed struct {
+		Stats struct {
+			Events int `json:"events"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(data, &closed); err != nil {
+		t.Fatal(err)
+	}
+	if closed.Stats.Events != clients {
+		t.Fatalf("session events = %d, want %d", closed.Stats.Events, clients)
+	}
+}
+
+func TestWorkspacesReturnToPoolAfterLoad(t *testing.T) {
+	base := engine.LeasedWorkspaces()
+	srv, ts := newTestServer(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(fig1Request))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	// A session held open across the load leases exactly one workspace.
+	_, data := post(t, ts.URL+"/v1/session", `{"v":1,"op":"open"}`)
+	wg.Wait()
+	if got := engine.LeasedWorkspaces(); got != base+1 {
+		t.Fatalf("LeasedWorkspaces = %d with one session open, want %d", got, base+1)
+	}
+	var opened struct {
+		Session string `json:"session"`
+	}
+	if err := json.Unmarshal(data, &opened); err != nil {
+		t.Fatal(err)
+	}
+	post(t, ts.URL+"/v1/session", `{"v":1,"op":"close","session":"`+opened.Session+`"}`)
+	if got := engine.LeasedWorkspaces(); got != base {
+		t.Fatalf("LeasedWorkspaces = %d after close, want baseline %d", got, base)
+	}
+	// Server.Close releases sessions clients abandoned.
+	post(t, ts.URL+"/v1/session", `{"v":1,"op":"open"}`)
+	post(t, ts.URL+"/v1/session", `{"v":1,"op":"open"}`)
+	srv.Close()
+	if got := engine.LeasedWorkspaces(); got != base {
+		t.Fatalf("LeasedWorkspaces = %d after Server.Close, want baseline %d", got, base)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	post(t, ts.URL+"/v1/solve", fig1Request)
+	post(t, ts.URL+"/v1/solve", `{`)
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`bmpcast_requests_total{endpoint="solve"} 2`,
+		"bmpcast_errors_total 1",
+		"bmpcast_sessions_open 0",
+		"bmpcast_workspaces_leased",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/solve status %d, want 405", resp.StatusCode)
+	}
+}

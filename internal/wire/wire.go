@@ -1,0 +1,378 @@
+// Package wire is the versioned JSON codec of the Request/Plan API:
+// the stable serialization of Instance, Request, Plan and the churn
+// simulator's Timeline that clients, the HTTP service
+// (internal/service) and the CLIs exchange.
+//
+// Every document carries an explicit schema version field ("v": 1).
+// Encoding is deterministic — two-space indented, struct-ordered
+// fields, a trailing newline — so identical inputs produce
+// byte-identical documents; the golden files under testdata/ and the
+// service smoke test in CI pin this. Decoding is strict about the
+// version (a missing or different "v" is an error wrapping ErrVersion)
+// and lenient about unknown fields (a v1 reader skips additive v2
+// fields); malformed input returns an error wrapping ErrMalformed and
+// never panics (fuzz-tested).
+//
+// Versioning policy (see DESIGN.md, "API v2 and the service layer"):
+// adding optional fields keeps "v": 1; renaming, removing or changing
+// the meaning of a field bumps the version, and decoders keep
+// accepting all versions they know.
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// Version is the wire schema version this package reads and writes.
+const Version = 1
+
+// Typed decode errors.
+var (
+	// ErrVersion reports a document whose "v" field is missing or not a
+	// version this codec understands.
+	ErrVersion = errors.New("wire: unsupported version")
+	// ErrMalformed reports input that is not a valid document of the
+	// expected shape (bad JSON, invalid instance data, bad word
+	// letters, unknown solver capability, ...).
+	ErrMalformed = errors.New("wire: malformed document")
+)
+
+// Marshal renders any wire document in the canonical byte-stable form:
+// two-space indent, struct field order, no HTML escaping, trailing
+// newline. Every encoder in this package (and the service layer) goes
+// through it, so identical values always serialize identically.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes data into v, wrapping syntax errors in
+// ErrMalformed ("what" names the document in the message).
+func Unmarshal(data []byte, v any, what string) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrMalformed, what, err)
+	}
+	return nil
+}
+
+// checkVersion validates a document's "v" field.
+func checkVersion(v int, what string) error {
+	if v != Version {
+		return fmt.Errorf("%w: %s has v=%d, this codec speaks v=%d", ErrVersion, what, v, Version)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Instance
+
+// Instance is the wire form of a platform instance.
+type Instance struct {
+	V       int       `json:"v"`
+	B0      float64   `json:"b0"`
+	Open    []float64 `json:"open,omitempty"`
+	Guarded []float64 `json:"guarded,omitempty"`
+}
+
+// FromInstance converts a domain instance to its wire form.
+func FromInstance(ins *platform.Instance) Instance {
+	return Instance{V: Version, B0: ins.B0, Open: ins.OpenBW, Guarded: ins.GuardedBW}
+}
+
+// Instance validates and converts the wire form back to a domain
+// instance (re-establishing the sorted invariant and prefix caches).
+func (w Instance) Instance() (*platform.Instance, error) {
+	if err := checkVersion(w.V, "instance"); err != nil {
+		return nil, err
+	}
+	ins, err := platform.NewInstance(w.B0, w.Open, w.Guarded)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrMalformed, err)
+	}
+	return ins, nil
+}
+
+// EncodeInstance renders an instance as a canonical wire document.
+func EncodeInstance(ins *platform.Instance) ([]byte, error) { return Marshal(FromInstance(ins)) }
+
+// DecodeInstance parses and validates a wire instance document.
+func DecodeInstance(data []byte) (*platform.Instance, error) {
+	var w Instance
+	if err := Unmarshal(data, &w, "instance"); err != nil {
+		return nil, err
+	}
+	return w.Instance()
+}
+
+// ---------------------------------------------------------------------------
+// Request
+
+// Request is the wire form of an engine.Request. The embedded instance
+// document carries its own version field; words travel as ASCII
+// ('o' open / 'g' guarded) so documents stay 7-bit clean.
+type Request struct {
+	V              int      `json:"v"`
+	Instance       Instance `json:"instance"`
+	Solver         string   `json:"solver,omitempty"`
+	Need           []string `json:"need,omitempty"`
+	DeadlineMS     float64  `json:"deadline_ms,omitempty"`
+	Tolerance      float64  `json:"tolerance,omitempty"`
+	WantScheme     bool     `json:"want_scheme,omitempty"`
+	WantTrees      bool     `json:"want_trees,omitempty"`
+	ScheduleBlocks int      `json:"schedule_blocks,omitempty"`
+	PrevWord       string   `json:"prev_word,omitempty"`
+}
+
+// wordASCII renders a word with 'o'/'g' letters (ParseWord's input
+// alphabet), the wire representation of encoding words.
+func wordASCII(w core.Word) string {
+	buf := make([]byte, len(w))
+	for i, l := range w {
+		if l == platform.Open {
+			buf[i] = 'o'
+		} else {
+			buf[i] = 'g'
+		}
+	}
+	return string(buf)
+}
+
+// FromRequest converts a domain request to its wire form.
+func FromRequest(req engine.Request) Request {
+	w := Request{
+		V:              Version,
+		Solver:         req.Solver,
+		Need:           req.Need.Names(),
+		Tolerance:      req.Tolerance,
+		WantScheme:     req.WantScheme,
+		WantTrees:      req.WantTrees,
+		ScheduleBlocks: req.ScheduleBlocks,
+		PrevWord:       wordASCII(req.PrevWord),
+	}
+	if req.Instance != nil {
+		w.Instance = FromInstance(req.Instance)
+	}
+	if req.Deadline > 0 {
+		w.DeadlineMS = float64(req.Deadline) / float64(time.Millisecond)
+	}
+	return w
+}
+
+// Request validates and converts the wire form to a domain request.
+func (w Request) Request() (engine.Request, error) {
+	if err := checkVersion(w.V, "request"); err != nil {
+		return engine.Request{}, err
+	}
+	ins, err := w.Instance.Instance()
+	if err != nil {
+		return engine.Request{}, err
+	}
+	req := engine.Request{
+		Instance:       ins,
+		Solver:         w.Solver,
+		Tolerance:      w.Tolerance,
+		WantScheme:     w.WantScheme,
+		WantTrees:      w.WantTrees,
+		ScheduleBlocks: w.ScheduleBlocks,
+		Deadline:       time.Duration(w.DeadlineMS * float64(time.Millisecond)),
+	}
+	for _, name := range w.Need {
+		c, err := engine.ParseCapability(name)
+		if err != nil {
+			return engine.Request{}, fmt.Errorf("%w: %w", ErrMalformed, err)
+		}
+		req.Need |= c
+	}
+	if w.PrevWord != "" {
+		if req.PrevWord, err = core.ParseWord(w.PrevWord); err != nil {
+			return engine.Request{}, fmt.Errorf("%w: %w", ErrMalformed, err)
+		}
+	}
+	if req.Tolerance < 0 || req.Deadline < 0 || req.ScheduleBlocks < 0 {
+		return engine.Request{}, fmt.Errorf("%w: negative tolerance, deadline or schedule_blocks", ErrMalformed)
+	}
+	return req, nil
+}
+
+// EncodeRequest renders a request as a canonical wire document.
+func EncodeRequest(req engine.Request) ([]byte, error) { return Marshal(FromRequest(req)) }
+
+// DecodeRequest parses and validates a wire request document.
+func DecodeRequest(data []byte) (engine.Request, error) {
+	var w Request
+	if err := Unmarshal(data, &w, "request"); err != nil {
+		return engine.Request{}, err
+	}
+	return w.Request()
+}
+
+// ---------------------------------------------------------------------------
+// Plan
+
+// Edge is one positive-rate connection of a scheme.
+type Edge struct {
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	Rate float64 `json:"rate"`
+}
+
+// Tree is one weighted broadcast tree of a decomposition: Parent[v] is
+// the node v receives from (−1 for the source).
+type Tree struct {
+	Weight float64 `json:"weight"`
+	Parent []int   `json:"parent"`
+}
+
+// Transmission is one periodic schedule assignment.
+type Transmission struct {
+	From  int `json:"from"`
+	To    int `json:"to"`
+	Block int `json:"block"`
+	Tree  int `json:"tree"`
+}
+
+// Schedule is the wire form of a periodic block-transmission plan.
+type Schedule struct {
+	Blocks        int            `json:"blocks"`
+	BlocksPerTree []int          `json:"blocks_per_tree"`
+	MaxOverload   float64        `json:"max_overload"`
+	Transmissions []Transmission `json:"transmissions"`
+}
+
+// EvalCounts is the deterministic subset of the workspace counters a
+// plan reports (scratch Grows is warmth-dependent and excluded, as in
+// the sim timeline).
+type EvalCounts struct {
+	FlowEvals   int64 `json:"flow_evals"`
+	GreedyTests int64 `json:"greedy_tests"`
+	WordEvals   int64 `json:"word_evals"`
+	Builds      int64 `json:"builds"`
+}
+
+// Plan is the wire form of an engine.Plan. Wall-clock time is
+// deliberately absent: plan documents are byte-stable for identical
+// requests, which the service golden tests rely on.
+type Plan struct {
+	V            int        `json:"v"`
+	Solver       string     `json:"solver"`
+	Throughput   float64    `json:"throughput"`
+	TStar        float64    `json:"tstar"`
+	Ratio        float64    `json:"ratio"`
+	Word         string     `json:"word,omitempty"`
+	MaxOutDegree int        `json:"max_out_degree,omitempty"`
+	DegreeSlack  int        `json:"degree_slack,omitempty"`
+	Acyclic      bool       `json:"acyclic,omitempty"`
+	Edges        []Edge     `json:"edges,omitempty"`
+	Trees        []Tree     `json:"trees,omitempty"`
+	Schedule     *Schedule  `json:"schedule,omitempty"`
+	Repaired     bool       `json:"repaired,omitempty"`
+	Verified     float64    `json:"verified,omitempty"`
+	Evals        EvalCounts `json:"evals"`
+}
+
+// FromPlan converts a domain plan to its wire form.
+func FromPlan(p *engine.Plan) Plan {
+	w := Plan{
+		V:          Version,
+		Solver:     p.Solver,
+		Throughput: p.Throughput,
+		TStar:      p.TStar,
+		Ratio:      p.Ratio(),
+		Word:       wordASCII(p.Word),
+		Repaired:   p.Repaired,
+		Verified:   p.Verified,
+		Evals: EvalCounts{
+			FlowEvals:   p.Evals.FlowEvals,
+			GreedyTests: p.Evals.GreedyTests,
+			WordEvals:   p.Evals.WordEvals,
+			Builds:      p.Evals.Builds,
+		},
+	}
+	if p.Scheme != nil {
+		w.MaxOutDegree = p.MaxOutDegree
+		w.DegreeSlack = p.MaxDegreeSlack
+		w.Acyclic = p.Scheme.IsAcyclic()
+		for _, e := range p.Scheme.Edges() {
+			w.Edges = append(w.Edges, Edge{From: e.From, To: e.To, Rate: e.Weight})
+		}
+	}
+	for _, t := range p.Trees {
+		w.Trees = append(w.Trees, Tree{Weight: t.Weight, Parent: t.Parent})
+	}
+	if p.Schedule != nil {
+		s := &Schedule{
+			Blocks:        p.Schedule.Blocks,
+			BlocksPerTree: p.Schedule.BlocksPerTree,
+			MaxOverload:   p.Schedule.MaxOverload,
+		}
+		for _, tr := range p.Schedule.Transmissions {
+			s.Transmissions = append(s.Transmissions, Transmission{
+				From: tr.From, To: tr.To, Block: tr.Block, Tree: tr.Tree,
+			})
+		}
+		w.Schedule = s
+	}
+	return w
+}
+
+// EncodePlan renders a plan as a canonical wire document.
+func EncodePlan(p *engine.Plan) ([]byte, error) { return Marshal(FromPlan(p)) }
+
+// DecodePlan parses a wire plan document into its client-side view
+// (the wire struct itself — plans are answers, not round-trip domain
+// objects; the word and edge list carry everything a client needs to
+// rebuild the overlay).
+func DecodePlan(data []byte) (Plan, error) {
+	var w Plan
+	if err := Unmarshal(data, &w, "plan"); err != nil {
+		return Plan{}, err
+	}
+	if err := checkVersion(w.V, "plan"); err != nil {
+		return Plan{}, err
+	}
+	return w, nil
+}
+
+// ---------------------------------------------------------------------------
+// Timeline
+
+// Timeline wraps the churn simulator's deterministic event record in
+// the versioned envelope; the embedded fields inline, so the document
+// is {"v": 1, "seed": ..., "entries": [...], ...}.
+type Timeline struct {
+	V int `json:"v"`
+	sim.Timeline
+}
+
+// FromTimeline converts a sim timeline to its wire form.
+func FromTimeline(tl *sim.Timeline) Timeline { return Timeline{V: Version, Timeline: *tl} }
+
+// EncodeTimeline renders a timeline as a canonical wire document.
+func EncodeTimeline(tl *sim.Timeline) ([]byte, error) { return Marshal(FromTimeline(tl)) }
+
+// DecodeTimeline parses and validates a wire timeline document.
+func DecodeTimeline(data []byte) (*sim.Timeline, error) {
+	var w Timeline
+	if err := Unmarshal(data, &w, "timeline"); err != nil {
+		return nil, err
+	}
+	if err := checkVersion(w.V, "timeline"); err != nil {
+		return nil, err
+	}
+	return &w.Timeline, nil
+}

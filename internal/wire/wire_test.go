@@ -1,0 +1,270 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/generator"
+	"repro/internal/sim"
+)
+
+// -update regenerates the golden files from the current encoders:
+//
+//	go test ./internal/wire -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got against testdata/<name>, rewriting with -update.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with `go test ./internal/wire -run Golden -update`)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s deviates from golden file (regenerate with -update if intentional)\ngot:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+func TestGoldenInstance(t *testing.T) {
+	data, err := EncodeInstance(generator.Figure1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "instance_fig1.json", data)
+
+	ins, err := DecodeInstance(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := EncodeInstance(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("instance decode→encode is not byte-stable")
+	}
+}
+
+func TestGoldenRequest(t *testing.T) {
+	prev, err := core.ParseWord("gogog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := engine.NewRequest(generator.Figure1(),
+		engine.WithSolver("acyclic"),
+		engine.WithTolerance(1e-9),
+		engine.WithDeadline(250*time.Millisecond),
+		engine.WithSchedule(20),
+		engine.WithWarmStart(prev),
+	)
+	data, err := EncodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "request_fig1.json", data)
+
+	back, err := DecodeRequest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := EncodeRequest(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("request decode→encode is not byte-stable")
+	}
+	if back.Solver != "acyclic" || back.ScheduleBlocks != 20 ||
+		back.Deadline != 250*time.Millisecond || len(back.PrevWord) != 5 {
+		t.Errorf("request did not round-trip: %+v", back)
+	}
+}
+
+func TestGoldenRequestCapabilities(t *testing.T) {
+	req := engine.NewRequest(generator.Figure1(),
+		engine.WithCapabilities(engine.CapExact|engine.CapHandlesGuarded),
+		engine.WithScheme(),
+	)
+	data, err := EncodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "request_capabilities.json", data)
+
+	back, err := DecodeRequest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Need.Has(engine.CapExact | engine.CapHandlesGuarded) {
+		t.Errorf("capability selector did not round-trip: %v", back.Need)
+	}
+}
+
+func TestGoldenPlan(t *testing.T) {
+	plan, err := engine.Execute(context.Background(), engine.NewRequest(generator.Figure1(),
+		engine.WithTolerance(1e-9), engine.WithSchedule(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodePlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "plan_fig1.json", data)
+
+	back, err := DecodePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("plan decode→encode is not byte-stable")
+	}
+	if back.Solver != "acyclic" || back.Schedule == nil || len(back.Trees) == 0 {
+		t.Errorf("plan missing artifacts: %+v", back)
+	}
+}
+
+func TestGoldenTimeline(t *testing.T) {
+	tr, err := sim.GenerateTrace(sim.TraceConfig{Nodes: 8, POpen: 0.7, Dist: "Unif100", Events: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := sim.Run(context.Background(), tr, sim.RunConfig{Solvers: []string{"acyclic"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeTimeline(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "timeline_seed11.json", data)
+
+	back, err := DecodeTimeline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := EncodeTimeline(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("timeline decode→encode is not byte-stable")
+	}
+}
+
+func TestDecodeVersionMismatch(t *testing.T) {
+	cases := map[string]func([]byte) error{
+		"instance": func(b []byte) error { _, err := DecodeInstance(b); return err },
+		"request":  func(b []byte) error { _, err := DecodeRequest(b); return err },
+		"plan":     func(b []byte) error { _, err := DecodePlan(b); return err },
+		"timeline": func(b []byte) error { _, err := DecodeTimeline(b); return err },
+	}
+	for name, decode := range cases {
+		for _, doc := range []string{`{}`, `{"v":0}`, `{"v":2,"b0":1}`} {
+			if err := decode([]byte(doc)); !errors.Is(err, ErrVersion) {
+				t.Errorf("%s %s: err = %v, want ErrVersion", name, doc, err)
+			}
+		}
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		[]byte(``),
+		[]byte(`{`),
+		[]byte(`[]`),
+		[]byte(`"v"`),
+		[]byte(`{"v":1,"b0":-3}`),
+		[]byte(`{"v":1,"b0":1e999}`),
+		[]byte(`{"v":1,"b0":0,"open":[1]}`),
+	}
+	for _, doc := range bad {
+		if _, err := DecodeInstance(doc); !errors.Is(err, ErrMalformed) {
+			t.Errorf("DecodeInstance(%q) err = %v, want ErrMalformed", doc, err)
+		}
+	}
+	reqBad := [][]byte{
+		[]byte(`{"v":1}`), // missing instance → zero Instance with v=0
+		[]byte(`{"v":1,"instance":{"v":1,"b0":5},"prev_word":"oxg"}`),
+		[]byte(`{"v":1,"instance":{"v":1,"b0":5},"need":["psychic"]}`),
+		[]byte(`{"v":1,"instance":{"v":1,"b0":5},"tolerance":-1}`),
+		[]byte(`{"v":1,"instance":{"v":1,"b0":5},"schedule_blocks":-2}`),
+	}
+	for _, doc := range reqBad {
+		_, err := DecodeRequest(doc)
+		if !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrVersion) {
+			t.Errorf("DecodeRequest(%s) err = %v, want ErrMalformed/ErrVersion", doc, err)
+		}
+	}
+	// Typed error plumbing: a bad word letter surfaces core.ErrInvalidWord
+	// through the wrap chain.
+	_, err := DecodeRequest([]byte(`{"v":1,"instance":{"v":1,"b0":5},"prev_word":"oxg"}`))
+	if !errors.Is(err, core.ErrInvalidWord) {
+		t.Errorf("bad prev_word err = %v, want core.ErrInvalidWord in chain", err)
+	}
+}
+
+// FuzzDecodeInstance asserts malformed instance documents error
+// cleanly instead of panicking, and that every accepted document
+// re-encodes canonically.
+func FuzzDecodeInstance(f *testing.F) {
+	f.Add([]byte(`{"v":1,"b0":6,"open":[5,5],"guarded":[4,1,1]}`))
+	f.Add([]byte(`{"v":1,"b0":0}`))
+	f.Add([]byte(`{"v":2,"b0":1}`))
+	f.Add([]byte(`{"b0":"six"}`))
+	f.Add([]byte(`[{"v":1}]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ins, err := DecodeInstance(data)
+		if err != nil {
+			return
+		}
+		if err := ins.Validate(); err != nil {
+			t.Fatalf("accepted instance fails Validate: %v", err)
+		}
+		if _, err := EncodeInstance(ins); err != nil {
+			t.Fatalf("accepted instance fails to encode: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeRequest asserts malformed request documents error cleanly
+// instead of panicking, and accepted ones are executable contracts.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`{"v":1,"instance":{"v":1,"b0":6,"open":[5,5],"guarded":[4,1,1]},"solver":"acyclic"}`))
+	f.Add([]byte(`{"v":1,"instance":{"v":1,"b0":5},"need":["exact"],"want_scheme":true}`))
+	f.Add([]byte(`{"v":1,"instance":{"v":1,"b0":5},"prev_word":"ogog","deadline_ms":5}`))
+	f.Add([]byte(`{"v":1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err != nil {
+			return
+		}
+		if req.Instance == nil {
+			t.Fatal("accepted request with nil instance")
+		}
+		if _, err := EncodeRequest(req); err != nil {
+			t.Fatalf("accepted request fails to encode: %v", err)
+		}
+	})
+}

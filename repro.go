@@ -44,6 +44,75 @@ func MustInstance(b0 float64, open, guarded []float64) *Instance {
 }
 
 // ---------------------------------------------------------------------------
+// API v2: typed Request/Plan contract
+//
+// The Request/Plan pair is the stable public contract of the library:
+// one typed request (instance + solver or capability selector +
+// functional options) in, one plan (throughput, scheme, optional tree
+// decomposition and periodic schedule, eval counters, repair
+// provenance) out. It is exactly what the versioned wire codec
+// (internal/wire) serializes and the `bmpcast serve` HTTP service
+// exposes. The older per-algorithm facade functions below remain as
+// thin compatibility wrappers over the same internals.
+
+// Request is a typed solve request; build one with NewRequest and the
+// With* functional options.
+type Request = engine.Request
+
+// RequestOption mutates a Request under construction.
+type RequestOption = engine.RequestOption
+
+// SolvePlan is the uniform answer to a Request: the solver result plus
+// the cyclic optimum T* and the optional tree decomposition and
+// periodic schedule.
+type SolvePlan = engine.Plan
+
+// NewRequest assembles a Request for the instance.
+func NewRequest(ins *Instance, opts ...RequestOption) Request {
+	return engine.NewRequest(ins, opts...)
+}
+
+// Execute runs a Request against the default solver registry. Failures
+// wrap the typed sentinels ErrUnknownSolver, ErrInfeasible and
+// ErrCanceled, so callers branch with errors.Is.
+func Execute(ctx context.Context, req Request) (*SolvePlan, error) {
+	return engine.Execute(ctx, req)
+}
+
+// ExecuteBatch sweeps requests on the engine worker pool with
+// deterministic ordering (plans[i] answers reqs[i]).
+func ExecuteBatch(ctx context.Context, reqs []Request, opts BatchOptions) ([]*SolvePlan, error) {
+	return engine.ExecuteBatch(ctx, reqs, opts)
+}
+
+// Request options (see the engine package for semantics).
+var (
+	WithSolver       = engine.WithSolver
+	WithCapabilities = engine.WithCapabilities
+	WithDeadline     = engine.WithDeadline
+	WithTolerance    = engine.WithTolerance
+	WithScheme       = engine.WithScheme
+	WithTrees        = engine.WithTrees
+	WithSchedule     = engine.WithSchedule
+	WithWarmStart    = engine.WithWarmStart
+)
+
+// Typed sentinel errors of the v2 API; every failure returned by
+// Execute, GetSolver, ParseWord and NewInstance wraps one of these.
+var (
+	// ErrUnknownSolver: no registered solver matches the request.
+	ErrUnknownSolver = engine.ErrUnknownSolver
+	// ErrInfeasible: the request as stated cannot be satisfied.
+	ErrInfeasible = engine.ErrInfeasible
+	// ErrCanceled: context cancellation or an expired deadline.
+	ErrCanceled = engine.ErrCanceled
+	// ErrInvalidWord: a word string outside the 'o'/'g' alphabet.
+	ErrInvalidWord = core.ErrInvalidWord
+	// ErrInvalidInstance: bandwidth data that cannot form an instance.
+	ErrInvalidInstance = platform.ErrInvalidInstance
+)
+
+// ---------------------------------------------------------------------------
 // Solver engine: registry and parallel batch runner
 
 // Solver is one broadcast algorithm behind the engine's uniform,
@@ -303,6 +372,13 @@ var (
 	LN2       = distribution.LN2
 	PlanetLab = distribution.PlanetLab
 )
+
+// DistributionByName resolves a distribution by the identifier the
+// CLIs and trace configs use ("Unif100", "Power1", "Power2", "LN1",
+// "LN2", "PLab").
+func DistributionByName(name string) (Distribution, error) {
+	return distribution.ByName(name)
+}
 
 // RandomInstance draws a random tight instance in the style of Appendix
 // XII: total receiver nodes, each open with probability pOpen, and the

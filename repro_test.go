@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -195,5 +196,83 @@ func TestFacadeEngine(t *testing.T) {
 		if r.Throughput != want {
 			t.Fatalf("batch result %d: %v != serial %v", i, r.Throughput, want)
 		}
+	}
+}
+
+// TestFacadeRequestPlan drives the v2 Request/Plan API through the
+// facade: typed requests, typed sentinel errors, artifacts and the
+// distribution lookup the CLIs share.
+func TestFacadeRequestPlan(t *testing.T) {
+	ctx := context.Background()
+	ins := repro.Figure1Instance()
+
+	plan, err := repro.Execute(ctx, repro.NewRequest(ins,
+		repro.WithSolver("acyclic"),
+		repro.WithTolerance(1e-9),
+		repro.WithSchedule(20),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.TStar-4.4) > 1e-9 || math.Abs(plan.Throughput-4) > 1e-6 {
+		t.Fatalf("plan T = %v, T* = %v", plan.Throughput, plan.TStar)
+	}
+	if plan.Scheme == nil || len(plan.Trees) == 0 || plan.Schedule == nil || plan.Verified == 0 {
+		t.Fatalf("plan missing artifacts: %+v", plan)
+	}
+
+	// Capability-selected request (no solver name).
+	sel, err := repro.Execute(ctx, repro.NewRequest(ins,
+		repro.WithCapabilities(repro.CapExact|repro.CapHandlesGuarded), repro.WithScheme()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Scheme == nil {
+		t.Fatal("capability-selected plan has no scheme")
+	}
+
+	// Typed sentinel errors via errors.Is.
+	if _, err := repro.Execute(ctx, repro.NewRequest(ins, repro.WithSolver("nope"))); !errors.Is(err, repro.ErrUnknownSolver) {
+		t.Fatalf("err = %v, want ErrUnknownSolver", err)
+	}
+	if _, err := repro.Execute(ctx, repro.NewRequest(ins, repro.WithSolver("cyclic-bound"), repro.WithTrees())); !errors.Is(err, repro.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := repro.Execute(canceled, repro.NewRequest(ins)); !errors.Is(err, repro.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if _, err := repro.ParseWord("oxg"); !errors.Is(err, repro.ErrInvalidWord) {
+		t.Fatalf("err = %v, want ErrInvalidWord", err)
+	}
+	if _, err := repro.NewInstance(-1, nil, nil); !errors.Is(err, repro.ErrInvalidInstance) {
+		t.Fatalf("err = %v, want ErrInvalidInstance", err)
+	}
+
+	// Batch of requests with deterministic ordering.
+	reqs := make([]repro.Request, 8)
+	for i := range reqs {
+		reqs[i] = repro.NewRequest(ins, repro.WithSolver("acyclic-search"))
+	}
+	plans, err := repro.ExecuteBatch(ctx, reqs, repro.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range plans {
+		if p == nil || math.Abs(p.Throughput-plans[0].Throughput) > 1e-12 {
+			t.Fatalf("batch plan %d inconsistent", i)
+		}
+	}
+
+	// DistributionByName mirrors the CLI lookups.
+	for _, name := range []string{"Unif100", "Power1", "Power2", "LN1", "LN2", "PLab"} {
+		d, err := repro.DistributionByName(name)
+		if err != nil || d.Name() != name {
+			t.Fatalf("DistributionByName(%q) = %v, %v", name, d, err)
+		}
+	}
+	if _, err := repro.DistributionByName("Gaussian"); err == nil {
+		t.Fatal("unknown distribution accepted")
 	}
 }
