@@ -22,6 +22,7 @@
 package repro_test
 
 import (
+	"bytes"
 	"context"
 	"io"
 	"math/big"
@@ -32,6 +33,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/client"
 	"repro/internal/bedibe"
 	"repro/internal/core"
 	"repro/internal/distribution"
@@ -42,6 +44,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/trees"
+	"repro/internal/wire"
 )
 
 // randomMixed draws a reproducible random instance for benchmarks.
@@ -517,9 +520,11 @@ func itoa(n int) string {
 // against the broadcast-planning service (decode request → bounded
 // worker gate → pooled Execute → canonical wire encode) on the Figure 1
 // instance — the service-layer overhead on top of the microseconds-long
-// solve itself. Gated in CI via BENCH_baseline.json.
+// solve itself. The plan cache is disabled so every iteration is a
+// real solve (the memoized path is BenchmarkServiceSolveCached).
+// Gated in CI via BENCH_baseline.json.
 func BenchmarkServiceSolve(b *testing.B) {
-	svc := service.New(service.Config{Workers: 2})
+	svc := service.New(service.Config{Workers: 2, CacheSize: -1})
 	defer svc.Close()
 	ts := httptest.NewServer(svc)
 	defer ts.Close()
@@ -538,6 +543,78 @@ func BenchmarkServiceSolve(b *testing.B) {
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+// BenchmarkServiceSolveCached isolates what the content-addressed plan
+// cache buys on a non-trivial instance (200 nodes, ≈1.7ms solve). Both
+// sub-benchmarks drive the service handler directly (no TCP, no HTTP
+// client) so the delta is decode → [solve vs. cache hit] → encode:
+//
+//	cold — caching disabled, every request re-solves;
+//	hot  — default cache, every request after the first is a hit.
+//
+// The acceptance bar for the cache layer is hot ≥ 10× faster than
+// cold. Gated in CI via BENCH_baseline.json.
+func BenchmarkServiceSolveCached(b *testing.B) {
+	req := repro.NewRequest(randomMixed(1, 120, 80),
+		repro.WithSolver("acyclic"), repro.WithTolerance(1e-9))
+	body, err := wire.EncodeRequest(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func(b *testing.B, svc *service.Server) {
+		r := httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		svc.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		svc := service.New(service.Config{Workers: 1, CacheSize: -1})
+		defer svc.Close()
+		post(b, svc) // warm the workspace pool like the hot path's priming call
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, svc)
+		}
+	})
+	b.Run("hot", func(b *testing.B) {
+		svc := service.New(service.Config{Workers: 1})
+		defer svc.Close()
+		post(b, svc) // prime the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, svc)
+		}
+	})
+}
+
+// BenchmarkClientRoundTrip measures one Solve through the Go SDK
+// against a live loopback daemon — wire encode → HTTP POST → service →
+// canonical plan bytes back — i.e. what `bmpcast solve -remote` pays
+// per call. The service runs its default cache, so iterations after
+// the first measure the steady-state remote hit path. Gated in CI via
+// BENCH_baseline.json.
+func BenchmarkClientRoundTrip(b *testing.B) {
+	svc := service.New(service.Config{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	c := client.New(ts.URL)
+	req := repro.NewRequest(repro.MustInstance(6, []float64{5, 5}, []float64{4, 1, 1}),
+		repro.WithSolver("acyclic"), repro.WithTolerance(1e-9))
+	ctx := context.Background()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.SolveRaw(ctx, req); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

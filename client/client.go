@@ -1,0 +1,451 @@
+// Package client is the typed Go SDK for the broadcast-planning
+// service (`bmpcast serve`). It speaks only versioned wire documents
+// (internal/wire) over HTTP and maps the service's error documents
+// back onto the engine's typed sentinels, so remote failures branch
+// exactly like local ones:
+//
+//	c := client.New("http://planner:8080")
+//	plan, err := c.Solve(ctx, engine.NewRequest(ins, engine.WithSolver("acyclic")))
+//	if errors.Is(err, engine.ErrInfeasible) { ... } // works across the network
+//
+// Three calling styles:
+//
+//   - Solve / Batch: one synchronous round trip (POST /v1/solve,
+//     /v1/batch);
+//   - Submit + Job.Stream: asynchronous jobs — submit a batch, get a
+//     job id immediately, then consume per-item Plans as NDJSON in
+//     item order as they complete (GET /v1/jobs/{id}/stream);
+//   - Job.Status: progress polling.
+//
+// Idempotent calls (every solve is a pure function of its request, so
+// all of them) are retried on transport errors and 5xx responses with
+// context-aware exponential backoff; 4xx and 504 responses are typed
+// failures, never retried. A Stream that loses its connection
+// mid-batch resumes from its item-index cursor — the service replays
+// completed items from memory, nothing is re-solved.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/wire"
+)
+
+// Request and Plan are the SDK's request/answer pair — aliases of the
+// engine request the facade exports and the wire plan the service
+// returns.
+type (
+	Request = engine.Request
+	Plan    = wire.Plan
+)
+
+// Client talks to one bmpcast service. Create with New; a Client is
+// safe for concurrent use.
+type Client struct {
+	base    string
+	httpc   *http.Client
+	retries int           // extra attempts after the first
+	backoff time.Duration // first retry delay, doubled per attempt
+}
+
+// Option tunes a Client under construction.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, instrumentation).
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = h } }
+
+// WithRetry sets how many times an idempotent call is retried after a
+// transport error or 5xx response (default 2), and the initial backoff
+// delay, doubled per attempt (default 100ms). retries 0 disables
+// retrying.
+func WithRetry(retries int, backoff time.Duration) Option {
+	return func(c *Client) { c.retries, c.backoff = retries, backoff }
+}
+
+// New builds a client for the service at base (e.g.
+// "http://127.0.0.1:8080"; a trailing slash is tolerated).
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(base, "/"),
+		httpc:   http.DefaultClient,
+		retries: 2,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// transport
+
+// do issues one call with retries. Every service call is idempotent
+// (solves are pure functions of their request; job submission is the
+// one exception the caller opts out of via retriable=false), so
+// transport errors and 5xx responses are retried with context-aware
+// exponential backoff. The response body is fully read and returned.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, retriable bool) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		data, status, err := c.once(ctx, method, path, body)
+		switch {
+		case err == nil && status/100 == 2:
+			return data, nil
+		case err == nil && (status < 500 || status == http.StatusGatewayTimeout):
+			// Typed failure: the request itself is wrong (or canceled
+			// server-side). Retrying cannot help.
+			return nil, c.errorFrom(path, status, data)
+		case err == nil:
+			lastErr = c.errorFrom(path, status, data)
+		default:
+			lastErr = fmt.Errorf("client: %s %s: %w", method, path, err)
+		}
+		if !retriable || attempt >= c.retries {
+			return nil, lastErr
+		}
+		if err := sleep(ctx, c.backoff<<attempt); err != nil {
+			return nil, fmt.Errorf("%w (last attempt: %w)", err, lastErr)
+		}
+	}
+}
+
+// once is a single request/response cycle.
+func (c *Client) once(ctx context.Context, method, path string, body []byte) ([]byte, int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, resp.StatusCode, nil
+}
+
+// errorFrom turns a non-2xx response into a typed error: the service's
+// wire.ErrorDoc reconstructs the engine sentinel its code names, so
+// errors.Is(err, engine.ErrInfeasible) works across the network.
+func (c *Client) errorFrom(path string, status int, data []byte) error {
+	var doc wire.ErrorDoc
+	if err := json.Unmarshal(data, &doc); err == nil && doc.Error != "" {
+		return doc.Err()
+	}
+	return fmt.Errorf("client: %s: HTTP %d: %s", path, status, bytes.TrimSpace(data))
+}
+
+// sleep is a context-aware backoff pause.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("client: %w", errCanceled(ctx.Err()))
+	}
+}
+
+// errCanceled mirrors the engine's convention: cancellation errors
+// match both engine.ErrCanceled and the underlying context error.
+func errCanceled(ctxErr error) error {
+	return errors.Join(engine.ErrCanceled, ctxErr)
+}
+
+// ---------------------------------------------------------------------------
+// synchronous calls
+
+// SolveRaw posts one request and returns the service's canonical plan
+// document bytes verbatim — byte-identical across identical requests
+// (and to a local wire encoding of the same plan), which the CLI's
+// -remote mode relies on.
+func (c *Client) SolveRaw(ctx context.Context, req Request) ([]byte, error) {
+	body, err := wire.EncodeRequest(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	return c.do(ctx, http.MethodPost, "/v1/solve", body, true)
+}
+
+// Solve posts one request and decodes the answered plan.
+func (c *Client) Solve(ctx context.Context, req Request) (Plan, error) {
+	raw, err := c.SolveRaw(ctx, req)
+	if err != nil {
+		return Plan{}, err
+	}
+	return wire.DecodePlan(raw)
+}
+
+// batchDoc is the wire form of a batch call (mirrors the service).
+type batchDoc struct {
+	V        int            `json:"v"`
+	Requests []wire.Request `json:"requests"`
+}
+
+// encodeBatch renders the shared /v1/batch //v1/jobs payload.
+func encodeBatch(reqs []Request) ([]byte, error) {
+	doc := batchDoc{V: wire.Version, Requests: make([]wire.Request, len(reqs))}
+	for i, r := range reqs {
+		doc.Requests[i] = wire.FromRequest(r)
+	}
+	return wire.Marshal(doc)
+}
+
+// Batch posts a synchronous batch; plans[i] answers reqs[i]. The call
+// is all-or-nothing (the service fails fast on the first error); for
+// per-item results use Submit and Stream.
+func (c *Client) Batch(ctx context.Context, reqs []Request) ([]Plan, error) {
+	body, err := encodeBatch(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding batch: %w", err)
+	}
+	data, err := c.do(ctx, http.MethodPost, "/v1/batch", body, true)
+	if err != nil {
+		return nil, err
+	}
+	var resp struct {
+		V     int    `json:"v"`
+		Plans []Plan `json:"plans"`
+	}
+	if err := wire.Unmarshal(data, &resp, "batch response"); err != nil {
+		return nil, err
+	}
+	if len(resp.Plans) != len(reqs) {
+		return nil, fmt.Errorf("%w: batch answered %d plans for %d requests",
+			wire.ErrMalformed, len(resp.Plans), len(reqs))
+	}
+	return resp.Plans, nil
+}
+
+// Healthz probes the service's liveness endpoint.
+func (c *Client) Healthz(ctx context.Context) error {
+	_, err := c.do(ctx, http.MethodGet, "/healthz", nil, true)
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// asynchronous jobs
+
+// Job is a handle on one asynchronous batch submitted to the service.
+type Job struct {
+	c *Client
+	// ID is the service-issued job id.
+	ID string
+	// Items is the number of requests in the job (0 when the handle was
+	// reattached by id; Status and Stream fill it in).
+	Items int
+}
+
+// JobStatus is a job's progress snapshot.
+type JobStatus struct {
+	Job       string `json:"job"`
+	Status    string `json:"status"` // running | done | canceled
+	Items     int    `json:"items"`
+	Completed int    `json:"completed"`
+	Errors    int    `json:"errors"`
+}
+
+// Done reports whether the job has reached a terminal state.
+func (s JobStatus) Done() bool { return s.Status != "running" }
+
+// Submit posts a batch to /v1/jobs and returns the job handle
+// immediately; the items solve in the background. Submission is the
+// one non-idempotent call (a retry could enqueue the work twice), so
+// transport errors surface to the caller instead of retrying.
+func (c *Client) Submit(ctx context.Context, reqs []Request) (*Job, error) {
+	body, err := encodeBatch(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding job: %w", err)
+	}
+	data, err := c.do(ctx, http.MethodPost, "/v1/jobs", body, false)
+	if err != nil {
+		return nil, err
+	}
+	var doc JobStatus
+	if err := wire.Unmarshal(data, &doc, "job submission response"); err != nil {
+		return nil, err
+	}
+	if doc.Job == "" {
+		return nil, fmt.Errorf("%w: job submission response carries no id", wire.ErrMalformed)
+	}
+	return &Job{c: c, ID: doc.Job, Items: doc.Items}, nil
+}
+
+// Job reattaches to a previously submitted job by id (e.g. after a
+// process restart); Status or Stream recover the item count.
+func (c *Client) Job(id string) *Job { return &Job{c: c, ID: id} }
+
+// Status fetches the job's progress.
+func (j *Job) Status(ctx context.Context) (JobStatus, error) {
+	data, err := j.c.do(ctx, http.MethodGet, "/v1/jobs/"+j.ID, nil, true)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var doc JobStatus
+	if err := wire.Unmarshal(data, &doc, "job status"); err != nil {
+		return JobStatus{}, err
+	}
+	j.Items = doc.Items
+	return doc, nil
+}
+
+// Item is one streamed job result: the plan at Index, or the typed
+// error that item failed with (sentinel-mapped, like every other
+// remote error).
+type Item struct {
+	Index int
+	Plan  *Plan
+	Err   error
+}
+
+// Stream attaches to the job's NDJSON stream at item index from and
+// returns an iterator over the remaining items in order. The iterator
+// transparently reconnects from its cursor when the connection drops
+// mid-batch (the service replays completed items from memory), up to
+// the client's retry budget per gap. Close the stream when done.
+func (j *Job) Stream(ctx context.Context, from int) (*Stream, error) {
+	if j.Items == 0 {
+		if _, err := j.Status(ctx); err != nil {
+			return nil, err
+		}
+	}
+	s := &Stream{job: j, ctx: ctx, next: from}
+	if _, err := s.connect(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Stream iterates a job's per-item results in item order.
+type Stream struct {
+	job  *Job
+	ctx  context.Context
+	next int // index of the next item to deliver
+
+	body io.ReadCloser
+	sc   *bufio.Scanner
+}
+
+// connect (re)opens the NDJSON stream at the current cursor.
+// transient reports whether the failure is a transport error worth
+// retrying (a non-2xx response is a definitive, typed answer).
+func (s *Stream) connect() (transient bool, err error) {
+	req, err := http.NewRequestWithContext(s.ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/jobs/%s/stream?from=%d", s.job.c.base, s.job.ID, s.next), nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := s.job.c.httpc.Do(req)
+	if err != nil {
+		return true, fmt.Errorf("client: opening job stream: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return false, s.job.c.errorFrom("/v1/jobs/"+s.job.ID+"/stream", resp.StatusCode, data)
+	}
+	s.body = resp.Body
+	s.sc = bufio.NewScanner(resp.Body)
+	s.sc.Buffer(make([]byte, 64<<10), 8<<20)
+	return false, nil
+}
+
+// Next returns the next item in order, blocking while the service is
+// still solving it. It returns io.EOF after the last item. A dropped
+// connection (mid-read or while reconnecting) consumes the client's
+// retry budget before surfacing; every fresh Next call starts with a
+// full budget.
+func (s *Stream) Next() (Item, error) {
+	if s.next >= s.job.Items {
+		return Item{}, io.EOF
+	}
+	var lastErr error
+	for attempt := 0; attempt <= s.job.c.retries; attempt++ {
+		if attempt > 0 {
+			// Resume from the cursor after a backoff; a transient
+			// reconnect failure spends an attempt, a typed refusal
+			// (evicted job, bad cursor) is definitive.
+			if err := sleep(s.ctx, s.job.c.backoff<<(attempt-1)); err != nil {
+				return Item{}, err
+			}
+			if transient, err := s.connect(); err != nil {
+				if !transient {
+					return Item{}, err
+				}
+				lastErr = err
+				continue
+			}
+		}
+		if s.sc.Scan() {
+			return s.decode(s.sc.Bytes())
+		}
+		if err := s.ctx.Err(); err != nil {
+			return Item{}, fmt.Errorf("client: %w", errCanceled(err))
+		}
+		// The connection ended with items outstanding: a dropped
+		// stream, not a finished one.
+		if lastErr = s.sc.Err(); lastErr == nil {
+			lastErr = io.ErrUnexpectedEOF
+		}
+		s.Close()
+	}
+	return Item{}, fmt.Errorf("client: job stream broke at item %d: %w", s.next, lastErr)
+}
+
+// decode parses one NDJSON line into an Item.
+func (s *Stream) decode(line []byte) (Item, error) {
+	var doc struct {
+		V     int    `json:"v"`
+		Index int    `json:"index"`
+		Plan  *Plan  `json:"plan"`
+		Code  string `json:"code"`
+		Error string `json:"error"`
+	}
+	if err := wire.Unmarshal(line, &doc, "job stream line"); err != nil {
+		return Item{}, err
+	}
+	if doc.Index != s.next {
+		return Item{}, fmt.Errorf("%w: job stream answered item %d at cursor %d",
+			wire.ErrMalformed, doc.Index, s.next)
+	}
+	s.next++
+	item := Item{Index: doc.Index, Plan: doc.Plan}
+	if doc.Error != "" || doc.Code != "" {
+		item.Err = wire.ErrorDoc{V: doc.V, Code: doc.Code, Error: doc.Error}.Err()
+	} else if doc.Plan == nil {
+		return Item{}, fmt.Errorf("%w: job stream line %d has neither plan nor error", wire.ErrMalformed, doc.Index)
+	}
+	return item, nil
+}
+
+// Close releases the stream's connection. The job keeps running
+// server-side; a new Stream can resume from any index.
+func (s *Stream) Close() {
+	if s.body != nil {
+		s.body.Close()
+		s.body = nil
+	}
+}

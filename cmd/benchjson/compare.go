@@ -11,8 +11,10 @@ import (
 // Regression gating: `benchjson -compare old.json new.json` pairs the
 // two documents' results by stable benchmark name (plus CPU count when
 // both sides recorded one) and fails when a benchmark got more than
-// `-threshold` percent worse on ns/op or allocs/op, or disappeared —
+// `-tolerance` percent worse on ns/op or allocs/op, or disappeared —
 // a silently dropped benchmark is a coverage regression, not a pass.
+// `-tolerance-for NAME=PCT` loosens (or tightens) the gate for one
+// benchmark without touching the rest.
 
 // regression describes one gate violation.
 type regression struct {
@@ -21,8 +23,10 @@ type regression struct {
 }
 
 // compareDocs pairs old and new results and returns the human report
-// plus the regressions. thresholdPct is the allowed relative increase.
-func compareDocs(oldDoc, newDoc *Doc, thresholdPct float64) (string, []regression) {
+// plus the regressions. tolerancePct is the allowed relative increase;
+// overrides substitutes a per-benchmark tolerance keyed on the stable
+// name.
+func compareDocs(oldDoc, newDoc *Doc, tolerancePct float64, overrides map[string]float64) (string, []regression) {
 	type pair struct {
 		old, cur *Result
 	}
@@ -53,14 +57,18 @@ func compareDocs(oldDoc, newDoc *Doc, thresholdPct float64) (string, []regressio
 		seen[n] = true
 		p := pair{o, n}
 
+		tol := tolerancePct
+		if over, ok := overrides[o.Name]; ok {
+			tol = over
+		}
 		nsDelta := relDelta(p.old.NsPerOp, p.cur.NsPerOp)
 		allocDelta := relDelta(float64(p.old.AllocsPerOp), float64(p.cur.AllocsPerOp))
 		verdict := "ok"
-		if exceeds(p.old.NsPerOp, p.cur.NsPerOp, thresholdPct) {
+		if exceeds(p.old.NsPerOp, p.cur.NsPerOp, tol) {
 			verdict = "REGRESSION ns/op"
-			regs = append(regs, regression{resultKey(*o), fmt.Sprintf("ns/op %+.1f%% (%s → %s)", nsDelta, fmtNs(o.NsPerOp), fmtNs(n.NsPerOp))})
+			regs = append(regs, regression{resultKey(*o), fmt.Sprintf("ns/op %+.1f%% (%s → %s), tolerance %.0f%%", nsDelta, fmtNs(o.NsPerOp), fmtNs(n.NsPerOp), tol)})
 		}
-		if exceeds(float64(p.old.AllocsPerOp), float64(p.cur.AllocsPerOp), thresholdPct) {
+		if exceeds(float64(p.old.AllocsPerOp), float64(p.cur.AllocsPerOp), tol) {
 			if verdict == "ok" {
 				verdict = "REGRESSION allocs/op"
 			} else {
@@ -80,7 +88,18 @@ func compareDocs(oldDoc, newDoc *Doc, thresholdPct float64) (string, []regressio
 	}
 	sort.Strings(rows)
 
-	report := fmt.Sprintf("benchjson compare: %d baseline benchmarks, threshold %.0f%%\n", len(oldDoc.Results), thresholdPct)
+	report := fmt.Sprintf("benchjson compare: %d baseline benchmarks, tolerance %.0f%%", len(oldDoc.Results), tolerancePct)
+	if len(overrides) > 0 {
+		names := make([]string, 0, len(overrides))
+		for name := range overrides {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			report += fmt.Sprintf(", %s=%.0f%%", name, overrides[name])
+		}
+	}
+	report += "\n"
 	for _, row := range rows {
 		report += row + "\n"
 	}
@@ -154,7 +173,7 @@ func loadDoc(path string) (*Doc, error) {
 
 // runCompare is the -compare entry point; returns the process exit
 // code (0 pass, 1 regression, 2 usage/IO error).
-func runCompare(oldPath, newPath string, thresholdPct float64, stdout, stderr io.Writer) int {
+func runCompare(oldPath, newPath string, tolerancePct float64, overrides map[string]float64, stdout, stderr io.Writer) int {
 	oldDoc, err := loadDoc(oldPath)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchjson:", err)
@@ -169,10 +188,10 @@ func runCompare(oldPath, newPath string, thresholdPct float64, stdout, stderr io
 		fmt.Fprintln(stderr, "benchjson: baseline has no results")
 		return 2
 	}
-	report, regs := compareDocs(oldDoc, newDoc, thresholdPct)
+	report, regs := compareDocs(oldDoc, newDoc, tolerancePct, overrides)
 	fmt.Fprint(stdout, report)
 	if len(regs) > 0 {
-		fmt.Fprintf(stderr, "benchjson: %d regression(s) beyond %.0f%%:\n", len(regs), thresholdPct)
+		fmt.Fprintf(stderr, "benchjson: %d regression(s) beyond tolerance %.0f%%:\n", len(regs), tolerancePct)
 		for _, r := range regs {
 			fmt.Fprintf(stderr, "  %s: %s\n", r.Key, r.Reason)
 		}

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson > BENCH.json
-//	go run ./cmd/benchjson -compare BENCH_baseline.json BENCH_new.json [-threshold 25]
+//	go run ./cmd/benchjson -compare BENCH_baseline.json BENCH_new.json [-tolerance 25] [-tolerance-for BenchmarkX=40]
 //
 // In convert mode, lines that are not benchmark results (goos/goarch/
 // cpu headers, PASS, package summaries) populate the metadata section
@@ -16,8 +16,14 @@
 // stable across -cpu matrix runs and directly comparable.
 //
 // In compare mode the exit status is 1 when any benchmark present in
-// the old document regresses by more than the threshold (percent, on
-// ns/op or allocs/op) or is missing from the new document.
+// the old document regresses by more than the tolerance (percent, on
+// ns/op or allocs/op) or is missing from the new document. The global
+// tolerance defaults to 25%; noisier benchmarks get their own slack
+// via repeatable -tolerance-for NAME=PCT overrides (matched on the
+// stable benchmark name, before any -N CPU suffix), so one jittery
+// macro-benchmark does not force a loose gate on everything else.
+// -threshold is the deprecated spelling of -tolerance and keeps
+// working.
 package main
 
 import (
@@ -53,15 +59,39 @@ type Doc struct {
 
 func main() {
 	compareMode := flag.Bool("compare", false, "compare two benchmark JSON files (old new) and exit 1 on regression")
-	threshold := flag.Float64("threshold", 25, "regression threshold in percent (ns/op and allocs/op)")
+	tolerance := flag.Float64("tolerance", 25, "regression tolerance in percent (ns/op and allocs/op)")
+	threshold := flag.Float64("threshold", 25, "deprecated alias for -tolerance")
+	overrides := make(map[string]float64)
+	flag.Func("tolerance-for", "per-benchmark tolerance override `NAME=PCT` (repeatable; NAME is the stable name without the -N CPU suffix)", func(s string) error {
+		name, pct, ok := strings.Cut(s, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("want NAME=PCT, got %q", s)
+		}
+		v, err := strconv.ParseFloat(pct, 64)
+		if err != nil || v < 0 {
+			return fmt.Errorf("bad percentage in %q", s)
+		}
+		overrides[name] = v
+		return nil
+	})
 	flag.Parse()
+
+	tol := *tolerance
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "threshold" {
+			tol = *threshold
+		}
+		if f.Name == "tolerance" {
+			tol = *tolerance
+		}
+	})
 
 	if *compareMode {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout, os.Stderr))
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), tol, overrides, os.Stdout, os.Stderr))
 	}
 
 	doc, err := Parse(os.Stdin)

@@ -107,7 +107,7 @@ func TestCompareWithinThresholdPasses(t *testing.T) {
 		bench("BenchmarkBrandNew", 50, 5), // no baseline: informational only
 	}})
 	var out, errb strings.Builder
-	if code := runCompare(oldPath, newPath, 25, &out, &errb); code != 0 {
+	if code := runCompare(oldPath, newPath, 25, nil, &out, &errb); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errb.String())
 	}
 	if !strings.Contains(out.String(), "PASS") || !strings.Contains(out.String(), "new benchmark") {
@@ -119,7 +119,7 @@ func TestCompareFailsOnNsRegression(t *testing.T) {
 	oldPath := writeDoc(t, "old.json", &Doc{Results: []Result{bench("BenchmarkA", 1000, 100)}})
 	newPath := writeDoc(t, "new.json", &Doc{Results: []Result{bench("BenchmarkA", 1300, 100)}})
 	var out, errb strings.Builder
-	if code := runCompare(oldPath, newPath, 25, &out, &errb); code != 1 {
+	if code := runCompare(oldPath, newPath, 25, nil, &out, &errb); code != 1 {
 		t.Fatalf("exit %d, want 1; report:\n%s", code, out.String())
 	}
 	if !strings.Contains(errb.String(), "ns/op") {
@@ -131,7 +131,7 @@ func TestCompareFailsOnAllocRegression(t *testing.T) {
 	oldPath := writeDoc(t, "old.json", &Doc{Results: []Result{bench("BenchmarkA", 1000, 100)}})
 	newPath := writeDoc(t, "new.json", &Doc{Results: []Result{bench("BenchmarkA", 1000, 126)}})
 	var out, errb strings.Builder
-	if code := runCompare(oldPath, newPath, 25, &out, &errb); code != 1 {
+	if code := runCompare(oldPath, newPath, 25, nil, &out, &errb); code != 1 {
 		t.Fatalf("exit %d, want 1", code)
 	}
 	if !strings.Contains(errb.String(), "allocs/op") {
@@ -145,7 +145,7 @@ func TestCompareFailsWhenZeroAllocBaselineLost(t *testing.T) {
 	oldPath := writeDoc(t, "old.json", &Doc{Results: []Result{bench("BenchmarkWarm", 1000, 0)}})
 	newPath := writeDoc(t, "new.json", &Doc{Results: []Result{bench("BenchmarkWarm", 1000, 1)}})
 	var out, errb strings.Builder
-	if code := runCompare(oldPath, newPath, 25, &out, &errb); code != 1 {
+	if code := runCompare(oldPath, newPath, 25, nil, &out, &errb); code != 1 {
 		t.Fatalf("losing the zero-alloc steady state must fail; exit %d", code)
 	}
 }
@@ -157,7 +157,7 @@ func TestCompareFailsOnMissingBenchmark(t *testing.T) {
 	}})
 	newPath := writeDoc(t, "new.json", &Doc{Results: []Result{bench("BenchmarkA", 1000, 100)}})
 	var out, errb strings.Builder
-	if code := runCompare(oldPath, newPath, 25, &out, &errb); code != 1 {
+	if code := runCompare(oldPath, newPath, 25, nil, &out, &errb); code != 1 {
 		t.Fatalf("exit %d, want 1", code)
 	}
 	if !strings.Contains(errb.String(), "missing") {
@@ -173,19 +173,56 @@ func TestComparePairsAcrossCPUCounts(t *testing.T) {
 	multi.CPUs = 4
 	newPath := writeDoc(t, "new.json", &Doc{Results: []Result{multi}})
 	var out, errb strings.Builder
-	if code := runCompare(oldPath, newPath, 25, &out, &errb); code != 0 {
+	if code := runCompare(oldPath, newPath, 25, nil, &out, &errb); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errb.String())
 	}
 }
 
 func TestCompareBadInputs(t *testing.T) {
 	var out, errb strings.Builder
-	if code := runCompare("/does/not/exist.json", "/nope.json", 25, &out, &errb); code != 2 {
+	if code := runCompare("/does/not/exist.json", "/nope.json", 25, nil, &out, &errb); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
 	}
 	empty := writeDoc(t, "empty.json", &Doc{})
-	if code := runCompare(empty, empty, 25, &out, &errb); code != 2 {
+	if code := runCompare(empty, empty, 25, nil, &out, &errb); code != 2 {
 		t.Fatalf("empty baseline: exit %d, want 2", code)
+	}
+}
+
+// TestCompareToleranceOverride: a per-benchmark -tolerance-for entry
+// loosens the gate for exactly that benchmark.
+func TestCompareToleranceOverride(t *testing.T) {
+	oldPath := writeDoc(t, "old.json", &Doc{Results: []Result{
+		bench("BenchmarkNoisy", 1000, 100),
+		bench("BenchmarkSteady", 1000, 100),
+	}})
+	newPath := writeDoc(t, "new.json", &Doc{Results: []Result{
+		bench("BenchmarkNoisy", 1400, 100),  // +40%: over the 25% default
+		bench("BenchmarkSteady", 1100, 100), // +10%: fine either way
+	}})
+	var out, errb strings.Builder
+	if code := runCompare(oldPath, newPath, 25, nil, &out, &errb); code != 1 {
+		t.Fatalf("without override: exit %d, want 1", code)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := runCompare(oldPath, newPath, 25, map[string]float64{"BenchmarkNoisy": 50}, &out, &errb); code != 0 {
+		t.Fatalf("with override: exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkNoisy=50%") {
+		t.Errorf("report does not show the override:\n%s", out.String())
+	}
+	// The override must not leak onto other benchmarks.
+	tightPath := writeDoc(t, "tight.json", &Doc{Results: []Result{
+		bench("BenchmarkNoisy", 1000, 100),
+		bench("BenchmarkSteady", 1400, 100),
+	}})
+	if code := runCompare(oldPath, tightPath, 25, map[string]float64{"BenchmarkNoisy": 50}, &out, &errb); code != 1 {
+		t.Fatal("override on BenchmarkNoisy must not loosen BenchmarkSteady's gate")
+	}
+	// An override can also tighten below the default.
+	if code := runCompare(oldPath, newPath, 25, map[string]float64{"BenchmarkNoisy": 50, "BenchmarkSteady": 5}, &out, &errb); code != 1 {
+		t.Fatal("a 5% override must fail BenchmarkSteady's +10%")
 	}
 }
 

@@ -29,21 +29,28 @@
 //	    churn-capable solver; output is byte-identical across runs
 //	    unless -timing is set.
 //
-//	bmpcast serve   [-addr :8080] [-workers 4]
+//	bmpcast serve   [-addr :8080] [-workers 4] [-cache 1024]
 //	    Run the broadcast-planning HTTP service: POST /v1/solve,
-//	    /v1/batch and /v1/session (wire-format Request/Plan documents),
-//	    plus /healthz and /metrics.
+//	    /v1/batch, /v1/jobs and /v1/session (wire-format Request/Plan
+//	    documents), GET /v1/jobs/{id} and /v1/jobs/{id}/stream (NDJSON
+//	    per-item plans), plus /healthz and /metrics. Identical requests
+//	    are answered from a content-addressed plan cache.
 //
 //	bmpcast demo fig1|fig6|57|sqrt41
 //	    Walk through the paper's showcase instances.
 //
 // solve and sweep take -wire to emit their result as a canonical wire
-// document instead of the human-readable text.
+// document instead of the human-readable text, and -remote <url> to
+// route the work through a running daemon via the Go SDK (repro/client)
+// — solve as one round trip, sweep as an async job consumed from the
+// NDJSON stream. Remote output is byte-identical to the local -wire
+// output for the same flags.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -53,6 +60,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/client"
 	"repro/internal/core"
 	"repro/internal/distribution"
 	"repro/internal/engine"
@@ -110,13 +118,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: bmpcast <solve|solvers|sweep|generate|simulate|sim|serve|demo> [flags]
-  solve    -file inst.json [-solver acyclic] [-cyclic] [-verbose] [-wire]
+  solve    -file inst.json [-solver acyclic] [-cyclic] [-verbose] [-wire] [-remote http://host:8080]
   solvers
-  sweep    -dist <Unif100|Power1|Power2|LN1|LN2|PLab> -n <nodes> -p <openprob> -count <instances> [-solver acyclic-search] [-seed N] [-workers N] [-wire]
+  sweep    -dist <Unif100|Power1|Power2|LN1|LN2|PLab> -n <nodes> -p <openprob> -count <instances> [-solver acyclic-search] [-seed N] [-workers N] [-wire] [-remote http://host:8080]
   generate -dist <Unif100|Power1|Power2|LN1|LN2|PLab> -n <nodes> -p <openprob> [-seed N]
   simulate -file inst.json [-packets 300] [-seed 1]
   sim      [-seed N] [-events 30] [-n 20] [-p 0.7] [-dist Unif100] [-solvers acyclic|all|a,b,c] [-format json|csv] [-timing] [-norepair]
-  serve    [-addr :8080] [-workers 4]
+  serve    [-addr :8080] [-workers 4] [-cache 1024]
   demo     fig1|fig6|57|sqrt41`)
 }
 
@@ -143,6 +151,7 @@ func cmdSolve(args []string, stdout io.Writer) error {
 	cyclic := fs.Bool("cyclic", false, "also build the optimal cyclic scheme")
 	verbose := fs.Bool("verbose", false, "print the full edge list and a tree decomposition")
 	wireOut := fs.Bool("wire", false, "emit the plan as a versioned wire document instead of text")
+	remote := fs.String("remote", "", "solve via a running `bmpcast serve` at this base URL (requires -wire)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -152,6 +161,12 @@ func cmdSolve(args []string, stdout io.Writer) error {
 	ins, err := loadInstance(*file)
 	if err != nil {
 		return err
+	}
+	if *remote != "" {
+		if !*wireOut {
+			return fmt.Errorf("solve: -remote requires -wire (remote plans are wire documents)")
+		}
+		return solveWireRemote(stdout, ins, *solverName, *remote)
 	}
 	if *wireOut {
 		return solveWire(stdout, ins, *solverName)
@@ -180,6 +195,29 @@ func solveWire(out io.Writer, ins *platform.Instance, solverName string) error {
 		return err
 	}
 	_, err = out.Write(data)
+	return err
+}
+
+// solveWireRemote answers like solveWire but routes the request
+// through the Go SDK to a running daemon, emitting the service's
+// canonical plan document verbatim — byte-identical to the local
+// `solve -wire` output for the same instance and solver. It first asks
+// for a tree decomposition; if that is infeasible (scheme-less or
+// cyclic solver), it retries plain, mirroring solveWire's
+// attach-if-acyclic behavior.
+func solveWireRemote(out io.Writer, ins *platform.Instance, solverName, url string) error {
+	ctx := context.Background()
+	c := client.New(url)
+	raw, err := c.SolveRaw(ctx, engine.NewRequest(ins,
+		engine.WithSolver(solverName), engine.WithTolerance(1e-9), engine.WithTrees()))
+	if errors.Is(err, engine.ErrInfeasible) {
+		raw, err = c.SolveRaw(ctx, engine.NewRequest(ins,
+			engine.WithSolver(solverName), engine.WithTolerance(1e-9)))
+	}
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(raw)
 	return err
 }
 
@@ -251,6 +289,7 @@ func cmdSweep(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "RNG seed")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	wireOut := fs.Bool("wire", false, "emit the sweep report as a versioned wire document instead of text")
+	remote := fs.String("remote", "", "sweep via a running `bmpcast serve` at this base URL (async job + NDJSON stream)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -267,6 +306,12 @@ func cmdSweep(args []string, stdout io.Writer) error {
 		if instances[i], err = generator.Random(dist, *n, *p, rng); err != nil {
 			return err
 		}
+	}
+	if *remote != "" {
+		return sweepRemote(stdout, instances, sweepParams{
+			Dist: dist.Name(), N: *n, P: *p, Count: *count,
+			Solver: *solverName, Seed: *seed, Wire: *wireOut,
+		}, *remote)
 	}
 	start := time.Now()
 	results, err := engine.BatchByName(context.Background(), *solverName, instances, engine.BatchOptions{Workers: *workers})
@@ -338,6 +383,82 @@ func writeSweepWire(out io.Writer, rep sweepReport) error {
 	}
 	_, err = out.Write(data)
 	return err
+}
+
+// sweepParams carries the sweep configuration into the remote path.
+type sweepParams struct {
+	Dist   string
+	N      int
+	P      float64
+	Count  int
+	Solver string
+	Seed   int64
+	Wire   bool
+}
+
+// sweepRemote runs the sweep through the daemon's async job API: the
+// locally generated instances are submitted as one job, the per-item
+// plans consumed from the NDJSON stream in order as they complete.
+// The -wire report is byte-identical to a local `sweep -wire` with the
+// same parameters (same seed ⇒ same instances ⇒ same plans; wall-clock
+// figures are absent from the document by design).
+func sweepRemote(out io.Writer, instances []*platform.Instance, p sweepParams, url string) error {
+	ctx := context.Background()
+	reqs := make([]engine.Request, len(instances))
+	for i, ins := range instances {
+		reqs[i] = engine.NewRequest(ins, engine.WithSolver(p.Solver))
+	}
+	start := time.Now()
+	c := client.New(url)
+	job, err := c.Submit(ctx, reqs)
+	if err != nil {
+		return err
+	}
+	stream, err := job.Stream(ctx, 0)
+	if err != nil {
+		return err
+	}
+	defer stream.Close()
+
+	ratios := make([]float64, 0, len(instances))
+	var evals wire.EvalCounts
+	for {
+		item, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("sweep: job %s stream: %w", job.ID, err)
+		}
+		if item.Err != nil {
+			return fmt.Errorf("sweep: instance %d: %w", item.Index, item.Err)
+		}
+		// Instances are tight (T* = b0), as in the local path.
+		ratios = append(ratios, item.Plan.Throughput/instances[item.Index].B0)
+		evals.FlowEvals += item.Plan.Evals.FlowEvals
+		evals.GreedyTests += item.Plan.Evals.GreedyTests
+		evals.WordEvals += item.Plan.Evals.WordEvals
+		evals.Builds += item.Plan.Evals.Builds
+	}
+	elapsed := time.Since(start)
+	rs := stats.Summarize(ratios)
+	if p.Wire {
+		return writeSweepWire(out, sweepReport{
+			V: wire.Version, Dist: p.Dist, N: p.N, P: p.P, Count: p.Count,
+			Solver: p.Solver, Seed: p.Seed,
+			RatioMean: rs.Mean, RatioMedian: rs.Median, RatioP025: rs.P025, RatioMin: rs.Min,
+			Evals: evals,
+		})
+	}
+	fmt.Fprintf(out, "sweep: %d × (%s, n=%d, p=%.2f) via %s on %s (job %s), seed %d\n",
+		p.Count, p.Dist, p.N, p.P, p.Solver, url, job.ID, p.Seed)
+	fmt.Fprintf(out, "throughput/T*: mean %.4f median %.4f p2.5 %.4f min %.4f\n",
+		rs.Mean, rs.Median, rs.P025, rs.Min)
+	fmt.Fprintf(out, "inner evals: %d greedy probes, %d flow queries, %d word evals, %d builds\n",
+		evals.GreedyTests, evals.FlowEvals, evals.WordEvals, evals.Builds)
+	fmt.Fprintf(out, "wall total %.3fs (%.0f instances/s, streamed)\n",
+		elapsed.Seconds(), float64(p.Count)/elapsed.Seconds())
+	return nil
 }
 
 func maxDepth(ts []trees.Tree) int {

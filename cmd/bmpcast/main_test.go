@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"flag"
 	"io"
 	"math"
 	"net/http"
@@ -279,6 +280,168 @@ func TestServeGolden(t *testing.T) {
 			t.Fatalf("round %d: /v1/solve response deviates from testdata/serve_golden.json — wire determinism broken "+
 				"(or an intentional change: regenerate by running `bmpcast serve` and curling testdata/solve_request.json)\ngot:\n%s",
 				round, got.String())
+		}
+	}
+}
+
+// -update regenerates the jobs-stream golden file:
+//
+//	go test ./cmd/bmpcast -run JobsStreamGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// TestJobsStreamGolden pins the exact job request and concatenated
+// NDJSON stream the CI serve-smoke step replays with curl against a
+// live `bmpcast serve`: POSTing testdata/jobs_request.json and
+// following /v1/jobs/{id}/stream to completion must yield
+// testdata/jobs_stream_golden.ndjson byte-for-byte (per-item wire
+// Plans in item order), and resubmitting the first item's request via
+// /v1/solve must be answered from the plan cache.
+func TestJobsStreamGolden(t *testing.T) {
+	reqBody, err := os.ReadFile(filepath.Join("testdata", "jobs_request.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Config{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(string(reqBody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, submit)
+	}
+	var doc struct {
+		Job   string `json:"job"`
+		Items int    `json:"items"`
+	}
+	if err := json.Unmarshal(submit, &doc); err != nil || doc.Job == "" || doc.Items != 3 {
+		t.Fatalf("submit response: %s", submit)
+	}
+
+	// The stream follows the job live and ends when every item landed.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + doc.Job + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d: %s", resp.StatusCode, got)
+	}
+
+	goldenPath := filepath.Join("testdata", "jobs_stream_golden.ndjson")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("%v (regenerate with `go test ./cmd/bmpcast -run JobsStreamGolden -update`)", err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("job stream deviates from %s — wire determinism broken "+
+				"(or an intentional change: regenerate with -update)\ngot:\n%s\nwant:\n%s", goldenPath, got, want)
+		}
+	}
+
+	// Item 0's request is exactly testdata/solve_request.json: the job
+	// populated the cache, so resubmitting it via /v1/solve is a hit.
+	solveBody, err := os.ReadFile(filepath.Join("testdata", "solve_request.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(string(solveBody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if h := resp.Header.Get("X-Bmpcast-Cache"); h != "hit" {
+		t.Errorf("resubmitted solve X-Bmpcast-Cache = %q, want hit", h)
+	}
+}
+
+// startDaemon spins the real service handler on a loopback listener
+// and returns its base URL — the daemon `-remote` routes through.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	svc := service.New(service.Config{Workers: 4})
+	ts := httptest.NewServer(svc)
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+	return ts.URL
+}
+
+// TestSolveRemoteMatchesLocal is the acceptance check: `solve -wire
+// -remote` against a live daemon produces output byte-identical to the
+// local `solve -wire` for the same instance and solver — including
+// solvers that build no (or a cyclic) scheme.
+func TestSolveRemoteMatchesLocal(t *testing.T) {
+	url := startDaemon(t)
+	file := writeFigure1(t)
+	for _, solver := range []string{"acyclic", "greedy", "cyclic-bound", "cyclic-pack"} {
+		local, errLocal, code := runCLI(t, "solve", "-file", file, "-solver", solver, "-wire")
+		if code != 0 {
+			t.Fatalf("%s local: exit %d, stderr: %s", solver, code, errLocal)
+		}
+		remote, errRemote, code := runCLI(t, "solve", "-file", file, "-solver", solver, "-wire", "-remote", url)
+		if code != 0 {
+			t.Fatalf("%s remote: exit %d, stderr: %s", solver, code, errRemote)
+		}
+		if remote != local {
+			t.Errorf("%s: remote output differs from local:\n--- local ---\n%s--- remote ---\n%s", solver, local, remote)
+		}
+	}
+}
+
+func TestSolveRemoteRequiresWire(t *testing.T) {
+	file := writeFigure1(t)
+	_, errOut, code := runCLI(t, "solve", "-file", file, "-remote", "http://127.0.0.1:1")
+	if code != 1 || !strings.Contains(errOut, "-remote requires -wire") {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+}
+
+func TestSolveRemoteSurfacesTypedErrors(t *testing.T) {
+	url := startDaemon(t)
+	file := writeFigure1(t)
+	_, errOut, code := runCLI(t, "solve", "-file", file, "-solver", "nope", "-wire", "-remote", url)
+	if code != 1 || !strings.Contains(errOut, "unknown solver") {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+}
+
+// TestSweepRemoteMatchesLocalWire: the async-job sweep produces the
+// same wire report as the local batch runner for the same seed.
+func TestSweepRemoteMatchesLocalWire(t *testing.T) {
+	url := startDaemon(t)
+	local, errLocal, code := runCLI(t, "sweep", "-count", "12", "-n", "10", "-seed", "7", "-wire")
+	if code != 0 {
+		t.Fatalf("local: exit %d, stderr: %s", code, errLocal)
+	}
+	remote, errRemote, code := runCLI(t, "sweep", "-count", "12", "-n", "10", "-seed", "7", "-wire", "-remote", url)
+	if code != 0 {
+		t.Fatalf("remote: exit %d, stderr: %s", code, errRemote)
+	}
+	if remote != local {
+		t.Errorf("remote sweep report differs from local:\n--- local ---\n%s--- remote ---\n%s", local, remote)
+	}
+}
+
+func TestSweepRemoteText(t *testing.T) {
+	url := startDaemon(t)
+	out, errOut, code := runCLI(t, "sweep", "-count", "8", "-n", "10", "-seed", "3", "-remote", url)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"sweep: 8 ×", "job j", "throughput/T*", "streamed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("remote sweep output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -19,17 +19,20 @@ import (
 // cmdServe runs the broadcast-planning HTTP service (internal/service)
 // until SIGINT/SIGTERM:
 //
-//	bmpcast serve [-addr :8080] [-workers 4]
+//	bmpcast serve [-addr :8080] [-workers 4] [-cache 1024]
 //
-// Endpoints: POST /v1/solve, POST /v1/batch, POST /v1/session, plus
-// GET /healthz and GET /metrics. Requests and responses are versioned
-// wire documents (internal/wire); identical requests produce
-// byte-identical responses, which the CI serve-smoke step pins against
-// a committed golden file.
+// Endpoints: POST /v1/solve, /v1/batch, /v1/jobs and /v1/session, GET
+// /v1/jobs/{id} and /v1/jobs/{id}/stream (NDJSON), plus GET /healthz
+// and GET /metrics. Requests and responses are versioned wire
+// documents (internal/wire); identical requests produce byte-identical
+// responses — served straight from the content-addressed plan cache on
+// a resubmission — which the CI serve-smoke step pins against
+// committed golden files.
 func cmdServe(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
 	workers := fs.Int("workers", 4, "max concurrent solves across all endpoints")
+	cache := fs.Int("cache", 0, "plan cache entries (0 = default 1024, negative disables caching)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -37,7 +40,7 @@ func cmdServe(args []string, stdout io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
-	svc := service.New(service.Config{Workers: *workers})
+	svc := service.New(service.Config{Workers: *workers, CacheSize: *cache})
 	defer svc.Close()
 	httpSrv := &http.Server{Handler: svc, ReadHeaderTimeout: 10 * time.Second}
 

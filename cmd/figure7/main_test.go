@@ -24,6 +24,23 @@ func TestRunSmallGrid(t *testing.T) {
 	}
 }
 
+// TestRunByteDeterministic: the grid solves on the engine's parallel
+// batch runner, whose ordering is deterministic — two runs with the
+// same flags must emit byte-identical CSV (the property the committed
+// experiment figures rely on).
+func TestRunByteDeterministic(t *testing.T) {
+	render := func() string {
+		var out, errb strings.Builder
+		if code := run([]string{"-maxn", "8", "-maxm", "8", "-stride", "3", "-deltas", "3"}, &out, &errb); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errb.String())
+		}
+		return out.String()
+	}
+	if first, second := render(), render(); first != second {
+		t.Fatalf("figure7 CSV differs between identical runs:\n%s\nvs\n%s", first, second)
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-definitely-not-a-flag"}, &out, &errb); code != 2 {

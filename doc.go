@@ -44,8 +44,15 @@
 //
 // and it is exactly what the versioned JSON codec (internal/wire,
 // "v": 1 documents) serializes and the `bmpcast serve` HTTP service
-// (internal/service) exposes: POST /v1/solve, /v1/batch and
-// /v1/session plus /healthz and /metrics.
+// (internal/service) exposes: POST /v1/solve, /v1/batch, /v1/jobs
+// (async batch with a status endpoint and an order-preserving,
+// cursor-resumable NDJSON plan stream) and /v1/session plus /healthz
+// and /metrics. Identical requests are answered from a
+// content-addressed plan cache (repro.NewPlanCache + repro.WithCache
+// locally; on by default in the service), and the exported repro/client
+// package is the typed Go SDK over the same wire contract — remote
+// failures map back onto the sentinels above, so the errors.Is
+// branching works across the network.
 //
 // Every algorithm is also reachable through the unified solver engine
 // (internal/engine): a named registry of uniform, context-aware solvers

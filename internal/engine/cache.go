@@ -1,0 +1,295 @@
+package engine
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// CacheKeyFunc renders a Request in a canonical, deterministic byte
+// form — two requests that mean the same thing must produce the same
+// bytes. The wire codec's EncodeRequest is exactly this function; the
+// engine takes it as a parameter instead of importing the codec (wire
+// depends on engine, not the other way around). The cache addresses
+// entries by the SHA-256 of these bytes.
+type CacheKeyFunc func(Request) ([]byte, error)
+
+// Cache memoizes successful Execute calls content-addressed by the
+// canonical encoding of the Request. Because every solve is a pure
+// function of its request (the paper's planning problems carry no
+// hidden state), a cached Plan is indistinguishable from a fresh one —
+// and since the wire encoding is canonical, re-encoding a cached Plan
+// yields byte-identical documents.
+//
+// Three mechanisms compose:
+//
+//   - a size-bounded LRU of completed plans (MaxEntries);
+//   - singleflight deduplication: concurrent identical requests
+//     collapse onto one in-flight solve, followers wait for the
+//     leader's result (or their own context, whichever ends first);
+//   - monotonic hit/miss/shared/eviction counters (Stats), surfaced by
+//     the service's /metrics endpoint.
+//
+// Cached plans are shared between callers and must be treated as
+// immutable. A Cache is safe for concurrent use. Attach one to a
+// request with WithCache; the service layer does so by default.
+type Cache struct {
+	key CacheKeyFunc
+	max int
+
+	mu       sync.Mutex
+	lru      *list.List // of *cacheEntry, front = most recent
+	entries  map[[sha256.Size]byte]*list.Element
+	inflight map[[sha256.Size]byte]*flight
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	shared    atomic.Int64
+	evictions atomic.Int64
+}
+
+// cacheEntry is one memoized plan, optionally with its canonical
+// rendered document (filled in by the ExecuteRendered path so byte
+// hits skip the encoder too).
+type cacheEntry struct {
+	key      [sha256.Size]byte
+	plan     *Plan
+	rendered []byte
+}
+
+// flight is one in-progress solve that followers wait on.
+type flight struct {
+	done     chan struct{} // closed after plan/rendered/err are set
+	plan     *Plan
+	rendered []byte // non-nil when the leader rendered
+	err      error
+}
+
+// DefaultCacheEntries is the LRU bound used when NewCache is given a
+// non-positive size.
+const DefaultCacheEntries = 1024
+
+// NewCache builds a plan cache bounded to maxEntries completed plans
+// (≤ 0 means DefaultCacheEntries). key renders requests canonically;
+// pass wire.EncodeRequest (the facade's NewPlanCache does).
+func NewCache(maxEntries int, key CacheKeyFunc) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	return &Cache{
+		key:      key,
+		max:      maxEntries,
+		lru:      list.New(),
+		entries:  make(map[[sha256.Size]byte]*list.Element),
+		inflight: make(map[[sha256.Size]byte]*flight),
+	}
+}
+
+// CacheStats is a monotonic snapshot of a cache's counters (Entries is
+// the current LRU size, the rest only grow).
+type CacheStats struct {
+	// Hits counts lookups answered from a completed entry.
+	Hits int64
+	// Misses counts lookups that led this caller to run the solve.
+	Misses int64
+	// Shared counts lookups that joined another caller's in-flight
+	// solve instead of starting their own (singleflight deduplication).
+	Shared int64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int64
+	// Entries is the number of plans currently held.
+	Entries int
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	n := c.lru.Len()
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Shared:    c.shared.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   n,
+	}
+}
+
+// Contains reports whether a completed plan for the request is
+// currently cached, without bumping the LRU or the counters — a
+// read-only probe for callers sizing or introspecting a cache.
+func (c *Cache) Contains(req Request) bool {
+	k, err := c.keyOf(req)
+	if err != nil {
+		return false
+	}
+	c.mu.Lock()
+	_, ok := c.entries[k]
+	c.mu.Unlock()
+	return ok
+}
+
+// keyOf hashes the request's canonical encoding.
+func (c *Cache) keyOf(req Request) ([sha256.Size]byte, error) {
+	data, err := c.key(req)
+	if err != nil {
+		return [sha256.Size]byte{}, err
+	}
+	return sha256.Sum256(data), nil
+}
+
+// RenderFunc encodes a completed plan into its canonical document
+// (wire.EncodePlan in the service). It must be deterministic: the
+// cache stores the first rendering and serves it to every later hit.
+type RenderFunc func(*Plan) ([]byte, error)
+
+// execute is the memoizing Execute path: hit, join an in-flight solve,
+// or lead one. Only successful plans are cached; errors pass through
+// (and are delivered to every follower of the failed flight).
+func (c *Cache) execute(ctx context.Context, r *Registry, req Request) (*Plan, error) {
+	plan, _, _, err := c.run(ctx, r, req, nil)
+	return plan, err
+}
+
+// ExecuteRendered runs the request through the cache like Execute with
+// WithCache, additionally memoizing the plan's canonical rendering: a
+// hit returns the stored document bytes without re-running the solver
+// or the encoder — the service's /v1/solve hot path. The hit result
+// reports whether the answer came from a completed cache entry (the
+// service's X-Bmpcast-Cache label) and stays consistent with Stats:
+// leaders and singleflight followers both report false. Callers must
+// treat the returned bytes as immutable.
+func (c *Cache) ExecuteRendered(ctx context.Context, r *Registry, req Request, render RenderFunc) (out []byte, hit bool, err error) {
+	plan, rendered, hit, err := c.run(ctx, r, req, render)
+	if err != nil {
+		return nil, false, err
+	}
+	if rendered == nil {
+		// The plan landed via the unrendered path (unencodable request);
+		// render for this caller only.
+		out, err = render(plan)
+		return out, hit, err
+	}
+	return rendered, hit, nil
+}
+
+// run is the shared cache machinery behind execute and
+// ExecuteRendered; render is nil on the plan-only path.
+func (c *Cache) run(ctx context.Context, r *Registry, req Request, render RenderFunc) (*Plan, []byte, bool, error) {
+	k, err := c.keyOf(req)
+	if err != nil {
+		// An unencodable request cannot be addressed; solve it directly.
+		plan, err := r.executeUncached(ctx, req)
+		return plan, nil, false, err
+	}
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[k]; ok {
+			c.lru.MoveToFront(el)
+			e := el.Value.(*cacheEntry)
+			plan, rendered := e.plan, e.rendered
+			c.mu.Unlock()
+			c.hits.Add(1)
+			if render != nil && rendered == nil {
+				// Plan cached by an unrendered caller: render once and
+				// remember the bytes for the next byte-level hit.
+				plan, rendered, err = c.attachRendering(k, plan, render)
+				return plan, rendered, true, err
+			}
+			return plan, rendered, true, nil
+		}
+		if f, ok := c.inflight[k]; ok {
+			c.mu.Unlock()
+			c.shared.Add(1)
+			select {
+			case <-f.done:
+				if f.err == nil {
+					// Followers report hit=false: the answer was not a
+					// completed entry (Stats counts them as Shared, and the
+					// service's hit label must agree with the hit counter).
+					if render != nil && f.rendered == nil {
+						plan, rendered, err := c.attachRendering(k, f.plan, render)
+						return plan, rendered, false, err
+					}
+					return f.plan, f.rendered, false, nil
+				}
+				// The leader's context died, not ours: take over the key
+				// (or join whoever already did) instead of surfacing a
+				// cancellation this caller never asked for.
+				if errors.Is(f.err, ErrCanceled) && ctx.Err() == nil {
+					continue
+				}
+				return nil, nil, false, f.err
+			case <-ctx.Done():
+				return nil, nil, false, canceledErr(ctx.Err())
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		c.inflight[k] = f
+		c.mu.Unlock()
+		c.misses.Add(1)
+
+		plan, err := r.executeUncached(ctx, req)
+		var rendered []byte
+		if err == nil && render != nil {
+			rendered, err = render(plan)
+		}
+		f.plan, f.rendered, f.err = plan, rendered, err
+		c.mu.Lock()
+		delete(c.inflight, k)
+		if err == nil {
+			c.insertLocked(k, plan, rendered)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return plan, rendered, false, nil
+	}
+}
+
+// attachRendering renders a cached plan and stores the bytes on its
+// entry (keeping the first rendering when two callers race — the
+// render is deterministic, so either is canonical).
+func (c *Cache) attachRendering(k [sha256.Size]byte, plan *Plan, render RenderFunc) (*Plan, []byte, error) {
+	out, err := render(plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[k]; ok {
+		e := el.Value.(*cacheEntry)
+		if e.rendered == nil {
+			e.rendered = out
+		} else {
+			out = e.rendered
+		}
+	}
+	c.mu.Unlock()
+	return plan, out, nil
+}
+
+// insertLocked adds a completed plan and enforces the LRU bound.
+// Callers hold c.mu.
+func (c *Cache) insertLocked(k [sha256.Size]byte, plan *Plan, rendered []byte) {
+	if el, ok := c.entries[k]; ok { // raced with another flight's insert
+		c.lru.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		e.plan = plan
+		if e.rendered == nil {
+			e.rendered = rendered
+		}
+		return
+	}
+	c.entries[k] = c.lru.PushFront(&cacheEntry{key: k, plan: plan, rendered: rendered})
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}

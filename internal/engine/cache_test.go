@@ -1,0 +1,314 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// testKeyFunc is a stand-in for wire.EncodeRequest: a deterministic
+// canonical rendering of the request fields the cache must
+// discriminate on.
+func testKeyFunc(req Request) ([]byte, error) {
+	doc := map[string]any{
+		"solver":    req.Solver,
+		"tolerance": req.Tolerance,
+	}
+	if req.Instance != nil {
+		doc["b0"] = req.Instance.B0
+		doc["open"] = req.Instance.OpenBW
+		doc["guarded"] = req.Instance.GuardedBW
+	}
+	return json.Marshal(doc)
+}
+
+// countingRegistry returns a registry with one solver that counts its
+// invocations.
+func countingRegistry(t *testing.T, calls *atomic.Int64) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	r.MustRegister(NewSolver("acyclic", CapExact|CapHandlesGuarded|CapBuildsScheme,
+		func(ins *platform.Instance, ws *core.Workspace) (Result, error) {
+			calls.Add(1)
+			T, s, err := core.SolveAcyclicWithWorkspace(ins, ws)
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Throughput: T, Scheme: s}, nil
+		}))
+	return r
+}
+
+func cacheFig1() *platform.Instance {
+	return platform.MustInstance(6, []float64{5, 5}, []float64{4, 1, 1})
+}
+
+func TestCacheHitSkipsSolver(t *testing.T) {
+	var calls atomic.Int64
+	r := countingRegistry(t, &calls)
+	c := NewCache(8, testKeyFunc)
+	req := NewRequest(cacheFig1(), WithSolver("acyclic"), WithCache(c))
+
+	first, err := r.Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("solver ran %d times, want 1 (second request must be a cache hit)", calls.Load())
+	}
+	if first != second {
+		t.Error("cache hit returned a different *Plan than the memoized one")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+func TestCacheDiscriminatesRequests(t *testing.T) {
+	var calls atomic.Int64
+	r := countingRegistry(t, &calls)
+	c := NewCache(8, testKeyFunc)
+	insA, insB := cacheFig1(), platform.MustInstance(6, []float64{5, 4}, []float64{4, 1, 1})
+
+	for _, req := range []Request{
+		NewRequest(insA, WithSolver("acyclic"), WithCache(c)),
+		NewRequest(insB, WithSolver("acyclic"), WithCache(c)),
+		NewRequest(insA, WithSolver("acyclic"), WithTolerance(1e-9), WithCache(c)),
+	} {
+		if _, err := r.Execute(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("solver ran %d times, want 3 (distinct requests must not collide)", calls.Load())
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 3 {
+		t.Errorf("stats = %+v, want 0 hits / 3 misses", st)
+	}
+}
+
+// TestCacheSingleflight floods one cache with identical concurrent
+// requests (run under -race in CI): exactly one solve must happen, and
+// every caller gets the same plan.
+func TestCacheSingleflight(t *testing.T) {
+	var calls atomic.Int64
+	r := countingRegistry(t, &calls)
+	c := NewCache(8, testKeyFunc)
+	req := NewRequest(cacheFig1(), WithSolver("acyclic"), WithCache(c))
+
+	const clients = 32
+	plans := make([]*Plan, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			plans[i], errs[i] = r.Execute(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if plans[i] != plans[0] {
+			t.Fatalf("client %d got a different plan pointer", i)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("solver ran %d times under concurrent identical load, want 1", calls.Load())
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits+st.Shared != clients-1 {
+		t.Errorf("stats = %+v, want 1 miss and %d hits+shared", st, clients-1)
+	}
+}
+
+func TestCacheLRUBound(t *testing.T) {
+	var calls atomic.Int64
+	r := countingRegistry(t, &calls)
+	c := NewCache(2, testKeyFunc)
+	reqFor := func(b0 float64) Request {
+		return NewRequest(platform.MustInstance(b0, []float64{5, 5}, nil),
+			WithSolver("acyclic"), WithCache(c))
+	}
+	for _, b0 := range []float64{6, 7, 8} { // third insert evicts b0=6
+		if _, err := r.Execute(context.Background(), reqFor(b0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 entries / 1 eviction", st)
+	}
+	// b0=6 was evicted: re-solving it is a miss; b0=8 is still warm.
+	if _, err := r.Execute(context.Background(), reqFor(6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Execute(context.Background(), reqFor(8)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 4 {
+		t.Fatalf("solver ran %d times, want 4 (3 cold + 1 evicted re-solve)", calls.Load())
+	}
+}
+
+func TestCacheDoesNotCacheErrors(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRegistry()
+	r.MustRegister(NewSolver("failing", CapAnytime,
+		func(*platform.Instance, *core.Workspace) (Result, error) {
+			calls.Add(1)
+			return Result{}, fmt.Errorf("%w: synthetic failure", ErrInfeasible)
+		}))
+	c := NewCache(8, testKeyFunc)
+	req := NewRequest(cacheFig1(), WithSolver("failing"), WithCache(c))
+	for i := 0; i < 2; i++ {
+		if _, err := r.Execute(context.Background(), req); !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("attempt %d: err = %v, want ErrInfeasible", i, err)
+		}
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("solver ran %d times, want 2 (errors must not be memoized)", calls.Load())
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Errorf("failed solves landed in the cache: %+v", st)
+	}
+}
+
+// TestCacheFollowerSurvivesCanceledLeader: a follower whose own context
+// is alive must not inherit the leader's cancellation — it takes over
+// the flight and solves.
+func TestCacheFollowerSurvivesCanceledLeader(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var attempt atomic.Int64
+	r := NewRegistry()
+	r.MustRegister(NewSolver("slow", CapAnytime,
+		func(ins *platform.Instance, ws *core.Workspace) (Result, error) {
+			if attempt.Add(1) == 1 {
+				close(started)
+				<-block // leader parks here until canceled
+				return Result{}, context.Canceled
+			}
+			return Result{Throughput: ins.B0}, nil // follower's retry
+		}))
+	c := NewCache(8, testKeyFunc)
+	req := NewRequest(cacheFig1(), WithSolver("slow"), WithCache(c))
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := r.Execute(leaderCtx, req)
+		leaderDone <- err
+	}()
+	<-started // leader is inside the solver
+
+	followerDone := make(chan error, 1)
+	go func() {
+		_, err := r.Execute(context.Background(), req)
+		followerDone <- err
+	}()
+
+	cancelLeader()
+	close(block)
+	if err := <-leaderDone; !errors.Is(err, ErrCanceled) {
+		t.Fatalf("leader err = %v, want ErrCanceled", err)
+	}
+	if err := <-followerDone; err != nil {
+		t.Fatalf("follower failed after leader cancellation: %v", err)
+	}
+	if attempt.Load() != 2 {
+		t.Fatalf("solver attempts = %d, want 2 (follower takes over the flight)", attempt.Load())
+	}
+}
+
+// TestCacheExecuteRendered: the byte-level path memoizes the rendered
+// document; hits return identical bytes without re-running the solver
+// or the renderer, and plan-path entries upgrade in place.
+func TestCacheExecuteRendered(t *testing.T) {
+	var calls atomic.Int64
+	r := countingRegistry(t, &calls)
+	c := NewCache(8, testKeyFunc)
+	req := NewRequest(cacheFig1(), WithSolver("acyclic"), WithCache(c))
+	var renders atomic.Int64
+	render := func(p *Plan) ([]byte, error) {
+		renders.Add(1)
+		return json.Marshal(map[string]float64{"throughput": p.Throughput})
+	}
+	ctx := context.Background()
+
+	first, hit, err := c.ExecuteRendered(ctx, r, req, render)
+	if err != nil || hit {
+		t.Fatalf("cold call: hit=%v err=%v", hit, err)
+	}
+	second, hit, err := c.ExecuteRendered(ctx, r, req, render)
+	if err != nil || !hit {
+		t.Fatalf("warm call: hit=%v err=%v", hit, err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("rendered bytes differ: %s vs %s", first, second)
+	}
+	if calls.Load() != 1 || renders.Load() != 1 {
+		t.Fatalf("solver/render calls = %d/%d, want 1/1", calls.Load(), renders.Load())
+	}
+
+	// A plan cached through the plan-only path renders exactly once when
+	// the byte path first sees it.
+	other := NewRequest(cacheFig1(), WithSolver("acyclic"), WithTolerance(1e-9), WithCache(c))
+	if _, err := r.Execute(ctx, other); err != nil {
+		t.Fatal(err)
+	}
+	before := renders.Load()
+	out1, hit, err := c.ExecuteRendered(ctx, r, other, render)
+	if err != nil || !hit {
+		t.Fatalf("upgrade call: hit=%v err=%v", hit, err)
+	}
+	out2, _, err := c.ExecuteRendered(ctx, r, other, render)
+	if err != nil || !bytes.Equal(out1, out2) {
+		t.Fatalf("upgraded entry unstable: %v", err)
+	}
+	if renders.Load() != before+1 {
+		t.Fatalf("renders after upgrade = %d, want %d", renders.Load(), before+1)
+	}
+	// And the plan path still answers from the same entry.
+	if _, err := r.Execute(ctx, other); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("solver calls = %d, want 2", calls.Load())
+	}
+}
+
+func TestCacheContains(t *testing.T) {
+	var calls atomic.Int64
+	r := countingRegistry(t, &calls)
+	c := NewCache(8, testKeyFunc)
+	req := NewRequest(cacheFig1(), WithSolver("acyclic"), WithCache(c))
+	if c.Contains(req) {
+		t.Fatal("Contains true before any solve")
+	}
+	if _, err := r.Execute(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains(req) {
+		t.Fatal("Contains false after a completed solve")
+	}
+	if st := c.Stats(); st.Hits != 0 {
+		t.Errorf("Contains must not count as a hit: %+v", st)
+	}
+}

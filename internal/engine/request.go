@@ -52,6 +52,12 @@ type Request struct {
 	// a previous solution's encoding word (incremental repair after
 	// platform churn). Other solvers ignore it.
 	PrevWord core.Word
+	// cache, when non-nil, memoizes this request's Execute through the
+	// content-addressed plan cache (see Cache and WithCache). The field
+	// is unexported so it never leaks into the canonical wire encoding:
+	// identical requests hash identically with or without a cache
+	// attached.
+	cache *Cache
 }
 
 // RequestOption mutates a Request under construction.
@@ -96,6 +102,13 @@ func WithSchedule(blocks int) RequestOption { return func(r *Request) { r.Schedu
 // for incremental repair after platform churn.
 func WithWarmStart(prev core.Word) RequestOption { return func(r *Request) { r.PrevWord = prev } }
 
+// WithCache routes the request through a content-addressed plan cache:
+// an identical request already solved returns the memoized Plan (treat
+// it as immutable) without touching a solver, and concurrent identical
+// requests collapse onto one in-flight solve. A nil cache leaves the
+// request uncached.
+func WithCache(c *Cache) RequestOption { return func(r *Request) { r.cache = c } }
+
 // Plan is the uniform answer to a Request: the solver Result (solver
 // name, throughput, word, scheme, degree statistics, eval counters,
 // repair provenance) plus the request-level artifacts — the cyclic
@@ -133,8 +146,20 @@ func Execute(ctx context.Context, req Request) (*Plan, error) {
 // Execute resolves the request's solver, runs it (warm-starting from
 // PrevWord when possible), verifies within Tolerance, and materializes
 // the requested artifacts. All failures wrap a typed sentinel:
-// ErrUnknownSolver, ErrInfeasible, or ErrCanceled.
+// ErrUnknownSolver, ErrInfeasible, or ErrCanceled. A request carrying
+// a cache (WithCache) is answered from the memoized plan when an
+// identical request was already solved.
 func (r *Registry) Execute(ctx context.Context, req Request) (*Plan, error) {
+	if req.cache != nil {
+		return req.cache.execute(ctx, r, req)
+	}
+	return r.executeUncached(ctx, req)
+}
+
+// executeUncached is the always-solve Execute path; cache misses come
+// back through here (it ignores req.cache, so the cache never
+// re-enters itself).
+func (r *Registry) executeUncached(ctx context.Context, req Request) (*Plan, error) {
 	if req.Instance == nil {
 		return nil, fmt.Errorf("%w: request has no instance", ErrInfeasible)
 	}

@@ -3,6 +3,11 @@
 //
 //	POST /v1/solve    one wire.Request  → one wire.Plan
 //	POST /v1/batch    {"v":1,"requests":[...]} → {"v":1,"plans":[...]}
+//	POST /v1/jobs     the same batch document → a job id immediately;
+//	                  the items solve asynchronously on the worker gate
+//	GET  /v1/jobs/{id}         job status/progress document
+//	GET  /v1/jobs/{id}/stream  per-item Plans as NDJSON in item order
+//	                  as they complete; resumable via ?from=<index>
 //	POST /v1/session  stateful churn re-solve: {"op":"open"} issues a
 //	                  session id backed by a warm engine.Session;
 //	                  {"op":"resolve"} re-solves the posted instance
@@ -10,7 +15,8 @@
 //	                  statistics and releases the workspace
 //	GET  /healthz     liveness probe ("ok")
 //	GET  /metrics     plain-text counters (requests, errors, inflight,
-//	                  open sessions, leased workspaces)
+//	                  open sessions, jobs, cache hits/misses, leased
+//	                  workspaces)
 //
 // All solve work funnels through one bounded worker gate (Config.
 // Workers permits), so a burst of concurrent requests shares the
@@ -19,12 +25,22 @@
 // engine.LeasedWorkspaces() returns to its baseline once the last
 // response is written and every session is closed.
 //
+// Stateless solves (solve, batch, job items) are memoized by default
+// through a content-addressed engine.Cache keyed by the SHA-256 of the
+// request's canonical wire encoding: resubmitting an identical request
+// returns the cached plan — byte-identical bytes, no solver work — and
+// concurrent identical requests collapse onto one in-flight solve.
+// /v1/solve labels each response with an X-Bmpcast-Cache: hit|miss
+// header; /metrics exports the counters. Sessions are stateful and
+// never cached.
+//
 // Responses are canonical wire documents: identical requests produce
 // byte-identical bodies (golden-tested, and pinned by the CI service
-// smoke step). Errors are JSON too — {"v":1,"error":...} with the
-// status code mapped from the engine's typed sentinels
-// (ErrUnknownSolver/ErrMalformed → 400/422, ErrInfeasible → 422,
-// ErrCanceled → 504).
+// smoke step). Errors are JSON too — wire.ErrorDoc, {"v":1,"code":...,
+// "error":...} with the status code and machine-readable code mapped
+// from the engine's typed sentinels (ErrUnknownSolver/ErrMalformed →
+// 400/422, ErrInfeasible → 422, ErrCanceled → 504), so SDK clients
+// reconstruct errors.Is-able sentinels across the network.
 package service
 
 import (
@@ -53,19 +69,35 @@ type Config struct {
 	Registry *engine.Registry
 	// MaxBodyBytes bounds request bodies; ≤ 0 means 8 MiB.
 	MaxBodyBytes int64
+	// CacheSize bounds the content-addressed plan cache (entries). 0
+	// means engine.DefaultCacheEntries; negative disables caching.
+	CacheSize int
+	// MaxJobs caps how many finished jobs are retained for status and
+	// stream reads (oldest finished evicted first; running jobs are
+	// never evicted). ≤ 0 means 64.
+	MaxJobs int
 }
 
 // Server is the broadcast-planning HTTP service. Create with New; it
-// implements http.Handler. Close releases all open sessions.
+// implements http.Handler. Close releases all open sessions, cancels
+// running jobs and waits for their workers to drain.
 type Server struct {
-	cfg  Config
-	gate chan struct{}
-	mux  *http.ServeMux
+	cfg   Config
+	gate  chan struct{}
+	mux   *http.ServeMux
+	cache *engine.Cache // nil when disabled
+
+	jobsCtx    context.Context // canceled by Close; parents all job solves
+	jobsCancel context.CancelFunc
+	jobsWG     sync.WaitGroup
 
 	mu        sync.Mutex
 	sessions  map[string]*session
 	nextID    int64
 	closed    bool
+	jobs      map[string]*job
+	jobOrder  []string // creation order, for finished-job eviction
+	nextJobID int64
 	requests  map[string]*atomic.Int64 // per-endpoint request counters
 	errorsN   atomic.Int64
 	inflightN atomic.Int64
@@ -89,29 +121,50 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 64
+	}
 	s := &Server{
 		cfg:      cfg,
 		gate:     make(chan struct{}, cfg.Workers),
 		mux:      http.NewServeMux(),
 		sessions: make(map[string]*session),
+		jobs:     make(map[string]*job),
 		requests: make(map[string]*atomic.Int64),
 	}
-	for _, ep := range []string{"solve", "batch", "session", "healthz", "metrics"} {
+	if cfg.CacheSize >= 0 {
+		s.cache = engine.NewCache(cfg.CacheSize, wire.EncodeRequest)
+	}
+	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
+	for _, ep := range []string{"solve", "batch", "jobs", "jobstream", "session", "healthz", "metrics"} {
 		s.requests[ep] = new(atomic.Int64)
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
 	s.mux.HandleFunc("POST /v1/session", s.handleSession)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
+// execute routes one stateless solve through the plan cache (when
+// enabled) and the configured registry.
+func (s *Server) execute(ctx context.Context, req engine.Request) (*engine.Plan, error) {
+	if s.cache != nil {
+		engine.WithCache(s.cache)(&req)
+	}
+	return s.cfg.Registry.Execute(ctx, req)
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Close releases every open session's workspace back to the engine
-// pool. The server rejects session opens afterwards.
+// pool, cancels running jobs and waits for their workers to finish.
+// The server rejects session opens and job submissions afterwards.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -126,6 +179,8 @@ func (s *Server) Close() {
 		ss.ses.Close()
 		ss.mu.Unlock()
 	}
+	s.jobsCancel()
+	s.jobsWG.Wait()
 }
 
 // OpenSessions reports how many sessions are currently open.
@@ -147,12 +202,6 @@ func (s *Server) acquire(r *http.Request) error {
 
 func (s *Server) release() { <-s.gate }
 
-// errorDoc is the wire form of a failed request.
-type errorDoc struct {
-	V     int    `json:"v"`
-	Error string `json:"error"`
-}
-
 // statusFor maps decode and engine errors to HTTP status codes.
 func statusFor(err error) int {
 	switch {
@@ -171,7 +220,7 @@ func statusFor(err error) int {
 
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	s.errorsN.Add(1)
-	doc, mErr := wireMarshal(errorDoc{V: wire.Version, Error: err.Error()})
+	doc, mErr := wireMarshal(wire.NewErrorDoc(err))
 	if mErr != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -220,18 +269,35 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, engineCanceled(err))
 		return
 	}
-	plan, err := s.cfg.Registry.Execute(r.Context(), req)
+	out, hit, err := s.solveRendered(r.Context(), req)
 	s.release()
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	out, err := wire.EncodePlan(plan)
-	if err != nil {
-		s.fail(w, err)
-		return
+	if s.cache != nil {
+		if hit {
+			w.Header().Set("X-Bmpcast-Cache", "hit")
+		} else {
+			w.Header().Set("X-Bmpcast-Cache", "miss")
+		}
 	}
 	s.reply(w, out)
+}
+
+// solveRendered answers one solve as canonical document bytes: through
+// the cache's byte-level path when enabled (a hit skips the solver and
+// the encoder), the plain execute-then-encode path otherwise.
+func (s *Server) solveRendered(ctx context.Context, req engine.Request) (out []byte, hit bool, err error) {
+	if s.cache != nil {
+		return s.cache.ExecuteRendered(ctx, s.cfg.Registry, req, wire.EncodePlan)
+	}
+	plan, err := s.cfg.Registry.Execute(ctx, req)
+	if err != nil {
+		return nil, false, err
+	}
+	out, err = wire.EncodePlan(plan)
+	return out, false, err
 }
 
 // engineCanceled tags a raw context error with the engine sentinel so
@@ -323,7 +389,7 @@ func (s *Server) executeBatch(r *http.Request, reqs []engine.Request) ([]*engine
 		go func(i int) {
 			defer wg.Done()
 			defer s.release()
-			p, err := s.cfg.Registry.Execute(ctx, reqs[i])
+			p, err := s.execute(ctx, reqs[i])
 			if err != nil {
 				errs[i] = err
 				cancel() // stop handing out new permits
@@ -549,6 +615,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "bmpcast_sessions_open %d\n", s.OpenSessions())
 	fmt.Fprintf(w, "bmpcast_workspaces_leased %d\n", engine.LeasedWorkspaces())
 	fmt.Fprintf(w, "bmpcast_worker_permits %d\n", s.cfg.Workers)
+	if s.cache != nil {
+		st := s.cache.Stats()
+		fmt.Fprintf(w, "bmpcast_cache_hits_total %d\n", st.Hits)
+		fmt.Fprintf(w, "bmpcast_cache_misses_total %d\n", st.Misses)
+		fmt.Fprintf(w, "bmpcast_cache_inflight_shared_total %d\n", st.Shared)
+		fmt.Fprintf(w, "bmpcast_cache_evictions_total %d\n", st.Evictions)
+		fmt.Fprintf(w, "bmpcast_cache_entries %d\n", st.Entries)
+	}
+	submitted, running := s.jobCounts()
+	fmt.Fprintf(w, "bmpcast_jobs_total %d\n", submitted)
+	fmt.Fprintf(w, "bmpcast_jobs_running %d\n", running)
 }
 
 // ---------------------------------------------------------------------------

@@ -61,6 +61,21 @@ func Marshal(v any) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// MarshalCompact renders a wire document as a single line of JSON plus
+// a trailing newline — one NDJSON record, as streamed by the service's
+// GET /v1/jobs/{id}/stream endpoint. Like Marshal it is deterministic
+// (struct field order, no HTML escaping), so identical values always
+// produce identical lines.
+func MarshalCompact(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 // Unmarshal decodes data into v, wrapping syntax errors in
 // ErrMalformed ("what" names the document in the message).
 func Unmarshal(data []byte, v any, what string) error {
@@ -346,6 +361,86 @@ func DecodePlan(data []byte) (Plan, error) {
 		return Plan{}, err
 	}
 	return w, nil
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+
+// Machine-readable error codes carried by ErrorDoc. Each code maps to
+// one typed sentinel, so a client can reconstruct an error a remote
+// service returned and branch on it with errors.Is exactly as if the
+// engine had failed locally.
+const (
+	CodeMalformed     = "malformed"      // wire.ErrMalformed: bad document
+	CodeVersion       = "version"        // wire.ErrVersion: unsupported "v"
+	CodeUnknownSolver = "unknown-solver" // engine.ErrUnknownSolver
+	CodeInfeasible    = "infeasible"     // engine.ErrInfeasible
+	CodeCanceled      = "canceled"       // engine.ErrCanceled
+	CodeInternal      = "internal"       // anything else
+)
+
+// codeSentinels orders the code↔sentinel mapping; first match wins on
+// encode (decode errors shadow engine errors, mirroring statusFor in
+// the service).
+var codeSentinels = []struct {
+	code     string
+	sentinel error
+}{
+	{CodeVersion, ErrVersion},
+	{CodeMalformed, ErrMalformed},
+	{CodeUnknownSolver, engine.ErrUnknownSolver},
+	{CodeInfeasible, engine.ErrInfeasible},
+	{CodeCanceled, engine.ErrCanceled},
+}
+
+// ErrorDoc is the wire form of a failed request: {"v":1, "code":...,
+// "error":...}. The code names the typed sentinel the failure wraps
+// (see the Code constants); the error string is the human-readable
+// message. Decoders tolerate a missing code (older services) — Err
+// then returns an untyped error.
+type ErrorDoc struct {
+	V     int    `json:"v"`
+	Code  string `json:"code,omitempty"`
+	Error string `json:"error"`
+}
+
+// NewErrorDoc classifies err into its wire form.
+func NewErrorDoc(err error) ErrorDoc {
+	doc := ErrorDoc{V: Version, Code: CodeInternal, Error: err.Error()}
+	for _, cs := range codeSentinels {
+		if errors.Is(err, cs.sentinel) {
+			doc.Code = cs.code
+			break
+		}
+	}
+	return doc
+}
+
+// remoteError is a reconstructed service failure: the server's message
+// verbatim, unwrapping to the sentinel its code names.
+type remoteError struct {
+	sentinel error
+	msg      string
+}
+
+func (e *remoteError) Error() string { return e.msg }
+func (e *remoteError) Unwrap() error { return e.sentinel }
+
+// Err reconstructs the typed error the document describes:
+// errors.Is(doc.Err(), engine.ErrInfeasible) holds exactly when the
+// service's original error wrapped engine.ErrInfeasible. Unknown or
+// missing codes produce an error matching no sentinel.
+func (d ErrorDoc) Err() error {
+	msg := d.Error
+	if msg == "" {
+		msg = "wire: service reported an unspecified error"
+	}
+	for _, cs := range codeSentinels {
+		if cs.code == d.Code {
+			return &remoteError{sentinel: cs.sentinel, msg: msg}
+		}
+	}
+	return errors.New(msg)
 }
 
 // ---------------------------------------------------------------------------

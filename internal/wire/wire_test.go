@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -248,6 +249,52 @@ func FuzzDecodeInstance(f *testing.F) {
 	})
 }
 
+func TestErrorDocRoundTripsSentinels(t *testing.T) {
+	cases := []struct {
+		err      error
+		code     string
+		sentinel error
+	}{
+		{fmt.Errorf("%w: no instance", engine.ErrInfeasible), CodeInfeasible, engine.ErrInfeasible},
+		{fmt.Errorf("%w %q", engine.ErrUnknownSolver, "nope"), CodeUnknownSolver, engine.ErrUnknownSolver},
+		{errors.Join(engine.ErrCanceled, context.Canceled), CodeCanceled, engine.ErrCanceled},
+		{fmt.Errorf("%w: junk", ErrMalformed), CodeMalformed, ErrMalformed},
+		{fmt.Errorf("%w: v=9", ErrVersion), CodeVersion, ErrVersion},
+		{errors.New("disk on fire"), CodeInternal, nil},
+	}
+	for _, c := range cases {
+		doc := NewErrorDoc(c.err)
+		if doc.Code != c.code {
+			t.Errorf("NewErrorDoc(%v).Code = %q, want %q", c.err, doc.Code, c.code)
+		}
+		data, err := Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back ErrorDoc
+		if err := Unmarshal(data, &back, "error doc"); err != nil {
+			t.Fatal(err)
+		}
+		got := back.Err()
+		if got.Error() != c.err.Error() {
+			t.Errorf("message did not survive the round trip: %q vs %q", got, c.err)
+		}
+		if c.sentinel != nil && !errors.Is(got, c.sentinel) {
+			t.Errorf("errors.Is(%v, %v) = false after round trip", got, c.sentinel)
+		}
+		// A reconstructed error matches exactly its own sentinel.
+		for _, other := range cases {
+			if other.sentinel != nil && other.code != c.code && errors.Is(got, other.sentinel) {
+				t.Errorf("code %q error matches foreign sentinel %v", c.code, other.sentinel)
+			}
+		}
+	}
+	// A code-less document (older service) still yields a usable error.
+	if err := (ErrorDoc{V: Version, Error: "boom"}).Err(); err == nil || err.Error() != "boom" {
+		t.Errorf("code-less doc Err() = %v", err)
+	}
+}
+
 // FuzzDecodeRequest asserts malformed request documents error cleanly
 // instead of panicking, and accepted ones are executable contracts.
 func FuzzDecodeRequest(f *testing.F) {
@@ -265,6 +312,70 @@ func FuzzDecodeRequest(f *testing.F) {
 		}
 		if _, err := EncodeRequest(req); err != nil {
 			t.Fatalf("accepted request fails to encode: %v", err)
+		}
+	})
+}
+
+// FuzzDecodePlan asserts malformed plan documents error cleanly
+// instead of panicking, and accepted ones re-marshal canonically and
+// byte-stably.
+func FuzzDecodePlan(f *testing.F) {
+	if data, err := os.ReadFile(filepath.Join("testdata", "plan_fig1.json")); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`{"v":1,"solver":"acyclic","throughput":4,"tstar":4.4,"ratio":0.9,"evals":{}}`))
+	f.Add([]byte(`{"v":1,"solver":"acyclic","edges":[{"from":0,"to":1,"rate":2}],"trees":[{"weight":1,"parent":[-1,0]}],"evals":{}}`))
+	f.Add([]byte(`{"v":1,"schedule":{"blocks":4,"blocks_per_tree":[2,2],"transmissions":[{"from":0,"to":1,"block":0,"tree":0}]}}`))
+	f.Add([]byte(`{"v":2,"solver":"acyclic"}`))
+	f.Add([]byte(`{"v":1,"throughput":"four"}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		plan, err := DecodePlan(data)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("rejection is not a typed decode error: %v", err)
+			}
+			return
+		}
+		first, err := Marshal(plan)
+		if err != nil {
+			t.Fatalf("accepted plan fails to marshal: %v", err)
+		}
+		back, err := DecodePlan(first)
+		if err != nil {
+			t.Fatalf("canonical re-encoding does not decode: %v", err)
+		}
+		again, err := Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("plan re-encoding is not byte-stable:\n%s\nvs\n%s", first, again)
+		}
+	})
+}
+
+// FuzzDecodeTimeline asserts malformed timeline documents error
+// cleanly instead of panicking, and accepted ones re-encode.
+func FuzzDecodeTimeline(f *testing.F) {
+	if data, err := os.ReadFile(filepath.Join("testdata", "timeline_seed11.json")); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`{"v":1,"seed":7,"entries":[]}`))
+	f.Add([]byte(`{"v":1,"entries":[{"event":0,"solver":"acyclic","throughput":3.5}]}`))
+	f.Add([]byte(`{"v":0}`))
+	f.Add([]byte(`{"v":1,"entries":42}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tl, err := DecodeTimeline(data)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("rejection is not a typed decode error: %v", err)
+			}
+			return
+		}
+		if _, err := EncodeTimeline(tl); err != nil {
+			t.Fatalf("accepted timeline fails to encode: %v", err)
 		}
 	})
 }

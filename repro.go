@@ -14,6 +14,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/schedule"
 	"repro/internal/trees"
+	"repro/internal/wire"
 )
 
 // ---------------------------------------------------------------------------
@@ -95,7 +96,27 @@ var (
 	WithTrees        = engine.WithTrees
 	WithSchedule     = engine.WithSchedule
 	WithWarmStart    = engine.WithWarmStart
+	WithCache        = engine.WithCache
 )
+
+// PlanCache memoizes Execute calls content-addressed by the SHA-256 of
+// the request's canonical wire encoding: an identical request already
+// solved returns the cached plan (treat it as immutable) without
+// touching a solver, and concurrent identical requests collapse onto
+// one in-flight solve. Attach one to requests with WithCache; the
+// `bmpcast serve` daemon runs one by default.
+type PlanCache = engine.Cache
+
+// PlanCacheStats is a cache's counter snapshot (hits, misses, shared
+// in-flight waits, evictions, current entries).
+type PlanCacheStats = engine.CacheStats
+
+// NewPlanCache builds a plan cache bounded to maxEntries plans (≤ 0
+// means engine.DefaultCacheEntries = 1024), keyed by the canonical
+// wire encoding of each request.
+func NewPlanCache(maxEntries int) *PlanCache {
+	return engine.NewCache(maxEntries, wire.EncodeRequest)
+}
 
 // Typed sentinel errors of the v2 API; every failure returned by
 // Execute, GetSolver, ParseWord and NewInstance wraps one of these.

@@ -276,3 +276,34 @@ func TestFacadeRequestPlan(t *testing.T) {
 		t.Fatal("unknown distribution accepted")
 	}
 }
+
+func TestFacadePlanCache(t *testing.T) {
+	ctx := context.Background()
+	ins := repro.MustInstance(6, []float64{5, 5}, []float64{4, 1, 1})
+	cache := repro.NewPlanCache(16)
+	req := repro.NewRequest(ins, repro.WithSolver("acyclic"), repro.WithCache(cache))
+
+	first, err := repro.Execute(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := repro.Execute(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("identical cached requests returned distinct plans")
+	}
+	st := cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	// A different request is its own entry.
+	other := repro.NewRequest(ins, repro.WithSolver("greedy"), repro.WithCache(cache))
+	if _, err := repro.Execute(ctx, other); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Entries != 2 {
+		t.Errorf("entries = %d, want 2", st.Entries)
+	}
+}
