@@ -45,6 +45,11 @@
 // — solve as one round trip, sweep as an async job consumed from the
 // NDJSON stream. Remote output is byte-identical to the local -wire
 // output for the same flags.
+//
+// sweep and sim take -cpuprofile/-memprofile to write pprof CPU and
+// allocs profiles of the run, making the hot-path profiles committed
+// under profiles/ reproducible from the CLI (see DESIGN.md's
+// opportunity matrix).
 package main
 
 import (
@@ -120,10 +125,10 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: bmpcast <solve|solvers|sweep|generate|simulate|sim|serve|demo> [flags]
   solve    -file inst.json [-solver acyclic] [-cyclic] [-verbose] [-wire] [-remote http://host:8080]
   solvers
-  sweep    -dist <Unif100|Power1|Power2|LN1|LN2|PLab> -n <nodes> -p <openprob> -count <instances> [-solver acyclic-search] [-seed N] [-workers N] [-wire] [-remote http://host:8080]
+  sweep    -dist <Unif100|Power1|Power2|LN1|LN2|PLab> -n <nodes> -p <openprob> -count <instances> [-solver acyclic-search] [-seed N] [-workers N] [-wire] [-remote http://host:8080] [-cpuprofile f] [-memprofile f]
   generate -dist <Unif100|Power1|Power2|LN1|LN2|PLab> -n <nodes> -p <openprob> [-seed N]
   simulate -file inst.json [-packets 300] [-seed 1]
-  sim      [-seed N] [-events 30] [-n 20] [-p 0.7] [-dist Unif100] [-solvers acyclic|all|a,b,c] [-format json|csv] [-timing] [-norepair]
+  sim      [-seed N] [-events 30] [-n 20] [-p 0.7] [-dist Unif100] [-solvers acyclic|all|a,b,c] [-format json|csv] [-timing] [-norepair] [-cpuprofile f] [-memprofile f]
   serve    [-addr :8080] [-workers 4] [-cache 1024]
   demo     fig1|fig6|57|sqrt41`)
 }
@@ -290,6 +295,7 @@ func cmdSweep(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	wireOut := fs.Bool("wire", false, "emit the sweep report as a versioned wire document instead of text")
 	remote := fs.String("remote", "", "sweep via a running `bmpcast serve` at this base URL (async job + NDJSON stream)")
+	prof := newProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -300,21 +306,30 @@ func cmdSweep(args []string, stdout io.Writer) error {
 	if *count < 1 {
 		return fmt.Errorf("sweep: -count must be ≥ 1")
 	}
-	rng := rand.New(rand.NewSource(*seed))
-	instances := make([]*platform.Instance, *count)
+	return prof.run(func() error {
+		return runSweep(stdout, dist, *n, *p, *count, *solverName, *seed, *workers, *wireOut, *remote)
+	})
+}
+
+// runSweep is the profiled body of cmdSweep: instance generation plus
+// the local batch solve or the remote job-stream path.
+func runSweep(stdout io.Writer, dist distribution.Distribution, n int, p float64, count int, solverName string, seed int64, workers int, wireOut bool, remote string) error {
+	rng := rand.New(rand.NewSource(seed))
+	instances := make([]*platform.Instance, count)
 	for i := range instances {
-		if instances[i], err = generator.Random(dist, *n, *p, rng); err != nil {
+		var err error
+		if instances[i], err = generator.Random(dist, n, p, rng); err != nil {
 			return err
 		}
 	}
-	if *remote != "" {
+	if remote != "" {
 		return sweepRemote(stdout, instances, sweepParams{
-			Dist: dist.Name(), N: *n, P: *p, Count: *count,
-			Solver: *solverName, Seed: *seed, Wire: *wireOut,
-		}, *remote)
+			Dist: dist.Name(), N: n, P: p, Count: count,
+			Solver: solverName, Seed: seed, Wire: wireOut,
+		}, remote)
 	}
 	start := time.Now()
-	results, err := engine.BatchByName(context.Background(), *solverName, instances, engine.BatchOptions{Workers: *workers})
+	results, err := engine.BatchByName(context.Background(), solverName, instances, engine.BatchOptions{Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -332,10 +347,10 @@ func cmdSweep(args []string, stdout io.Writer) error {
 	}
 	rs := stats.Summarize(ratios)
 	ws := stats.Summarize(walls)
-	if *wireOut {
+	if wireOut {
 		return writeSweepWire(stdout, sweepReport{
-			V: wire.Version, Dist: dist.Name(), N: *n, P: *p, Count: *count,
-			Solver: *solverName, Seed: *seed,
+			V: wire.Version, Dist: dist.Name(), N: n, P: p, Count: count,
+			Solver: solverName, Seed: seed,
 			RatioMean: rs.Mean, RatioMedian: rs.Median, RatioP025: rs.P025, RatioMin: rs.Min,
 			Evals: wire.EvalCounts{
 				FlowEvals:   evals.FlowEvals,
@@ -346,7 +361,7 @@ func cmdSweep(args []string, stdout io.Writer) error {
 		})
 	}
 	fmt.Fprintf(stdout, "sweep: %d × (%s, n=%d, p=%.2f) via %s, seed %d\n",
-		*count, dist.Name(), *n, *p, *solverName, *seed)
+		count, dist.Name(), n, p, solverName, seed)
 	fmt.Fprintf(stdout, "throughput/T*: mean %.4f median %.4f p2.5 %.4f min %.4f\n",
 		rs.Mean, rs.Median, rs.P025, rs.Min)
 	fmt.Fprintf(stdout, "per-instance solve: mean %.3fms median %.3fms max %.3fms\n",
@@ -354,7 +369,7 @@ func cmdSweep(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "inner evals: %d greedy probes, %d flow queries, %d word evals, %d builds (%d scratch grows)\n",
 		evals.GreedyTests, evals.FlowEvals, evals.WordEvals, evals.Builds, evals.Grows)
 	fmt.Fprintf(stdout, "wall total %.3fs (%.0f instances/s)\n",
-		elapsed.Seconds(), float64(*count)/elapsed.Seconds())
+		elapsed.Seconds(), float64(count)/elapsed.Seconds())
 	return nil
 }
 
@@ -556,6 +571,7 @@ func cmdSim(args []string, stdout io.Writer) error {
 	format := fs.String("format", "json", "timeline output format: json or csv")
 	timing := fs.Bool("timing", false, "include wall-clock ms per solve (breaks byte-reproducibility)")
 	noRepair := fs.Bool("norepair", false, "disable incremental repair (full re-solve per event)")
+	prof := newProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -569,32 +585,34 @@ func cmdSim(args []string, stdout io.Writer) error {
 			}
 		}
 	}
-	tr, err := sim.GenerateTrace(sim.TraceConfig{
-		Nodes: *n, POpen: *p, Dist: *distName, Events: *events, Seed: *seed,
-	})
-	if err != nil {
-		return err
-	}
-	tl, err := sim.Run(context.Background(), tr, sim.RunConfig{
-		Solvers: solvers, NoRepair: *noRepair, Timing: *timing,
-	})
-	if err != nil {
-		return err
-	}
-	switch *format {
-	case "json":
-		// Versioned wire document — same codec the service speaks.
-		data, err := wire.EncodeTimeline(tl)
+	return prof.run(func() error {
+		tr, err := sim.GenerateTrace(sim.TraceConfig{
+			Nodes: *n, POpen: *p, Dist: *distName, Events: *events, Seed: *seed,
+		})
 		if err != nil {
 			return err
 		}
-		_, err = stdout.Write(data)
-		return err
-	case "csv":
-		return tl.WriteCSV(stdout)
-	default:
-		return fmt.Errorf("sim: unknown format %q (json or csv)", *format)
-	}
+		tl, err := sim.Run(context.Background(), tr, sim.RunConfig{
+			Solvers: solvers, NoRepair: *noRepair, Timing: *timing,
+		})
+		if err != nil {
+			return err
+		}
+		switch *format {
+		case "json":
+			// Versioned wire document — same codec the service speaks.
+			data, err := wire.EncodeTimeline(tl)
+			if err != nil {
+				return err
+			}
+			_, err = stdout.Write(data)
+			return err
+		case "csv":
+			return tl.WriteCSV(stdout)
+		default:
+			return fmt.Errorf("sim: unknown format %q (json or csv)", *format)
+		}
+	})
 }
 
 func cmdDemo(args []string, stdout io.Writer) error {

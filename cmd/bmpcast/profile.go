@@ -1,0 +1,58 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profileFlags carries the -cpuprofile/-memprofile flags shared by the
+// sweep and sim subcommands, so the pprof profiles committed under
+// profiles/ are reproducible with a single CLI invocation instead of a
+// test harness.
+type profileFlags struct {
+	cpu string
+	mem string
+}
+
+// newProfileFlags registers the profiling flags on fs.
+func newProfileFlags(fs *flag.FlagSet) *profileFlags {
+	p := &profileFlags{}
+	fs.StringVar(&p.cpu, "cpuprofile", "", "write a pprof CPU profile of the run to `file`")
+	fs.StringVar(&p.mem, "memprofile", "", "write a pprof allocs profile to `file` after the run")
+	return p
+}
+
+// run executes body between StartCPUProfile/StopCPUProfile and writes
+// the allocs profile once body returns. With both flags empty it is a
+// plain call.
+func (p *profileFlags) run(body func() error) error {
+	if p.cpu != "" {
+		f, err := os.Create(p.cpu)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := body(); err != nil {
+		return err
+	}
+	if p.mem != "" {
+		f, err := os.Create(p.mem)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the allocs profile is complete
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return nil
+}

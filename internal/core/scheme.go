@@ -85,6 +85,32 @@ func NewScheme(ins *platform.Instance) *Scheme {
 	return &Scheme{ins: ins, out: make([]adjacency, ins.Total())}
 }
 
+// NewSchemeSized returns an empty scheme whose per-node adjacencies are
+// carved from one shared arc slab, with node i reserving degCap(i)
+// slots. Callers that can bound outdegrees up front (BuildScheme knows
+// them from Theorem 4.1) replace Total() little per-node allocations
+// with one slab allocation; a node outgrowing its reservation falls
+// back to an ordinary append-reallocation, so degCap is a sizing hint,
+// not a limit. degCap is consulted twice per node and must be pure.
+func NewSchemeSized(ins *platform.Instance, degCap func(i int) int) *Scheme {
+	total := ins.Total()
+	s := &Scheme{ins: ins, out: make([]adjacency, total)}
+	sum := 0
+	for i := 0; i < total; i++ {
+		sum += degCap(i)
+	}
+	slab := make([]arc, sum)
+	off := 0
+	for i := 0; i < total; i++ {
+		c := degCap(i)
+		// Three-index slices cap each window so overflow reallocates
+		// instead of silently bleeding into the neighbor's reservation.
+		s.out[i] = adjacency(slab[off : off : off+c])
+		off += c
+	}
+	return s
+}
+
 // Instance returns the instance this scheme was built for.
 func (s *Scheme) Instance() *platform.Instance { return s.ins }
 
@@ -213,8 +239,35 @@ func (s *Scheme) Graph() *graph.Digraph {
 	return g
 }
 
-// IsAcyclic reports whether the communication graph is a DAG.
-func (s *Scheme) IsAcyclic() bool { return s.Graph().IsAcyclic() }
+// IsAcyclic reports whether the communication graph is a DAG. It runs
+// Kahn's algorithm directly over the sparse adjacency — the Digraph
+// materialization this replaces (two edge appends per arc) was the
+// single largest allocation site on the service's plan-encode path.
+func (s *Scheme) IsAcyclic() bool {
+	n := len(s.out)
+	indeg := make([]int32, n)
+	for i := range s.out {
+		for _, e := range s.out[i] {
+			indeg[e.to]++
+		}
+	}
+	ready := make([]int32, 0, n)
+	for v := range indeg {
+		if indeg[v] == 0 {
+			ready = append(ready, int32(v))
+		}
+	}
+	seen := 0
+	for qi := 0; qi < len(ready); qi++ {
+		seen++
+		for _, e := range s.out[ready[qi]] {
+			if indeg[e.to]--; indeg[e.to] == 0 {
+				ready = append(ready, int32(e.to))
+			}
+		}
+	}
+	return seen == n
+}
 
 // Throughput computes T = min_i maxflow(C0 → Ci) with the float64
 // max-flow solver (the paper's definition of scheme throughput).

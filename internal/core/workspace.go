@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/graph"
 	"repro/internal/maxflow"
 	"repro/internal/platform"
@@ -91,6 +93,17 @@ func (s WorkspaceStats) Add(other WorkspaceStats) WorkspaceStats {
 
 // NewWorkspace returns an empty workspace.
 func NewWorkspace() *Workspace { return &Workspace{} }
+
+// wsPool recycles private workspaces for the convenience wrappers
+// (OptimalAcyclicThroughput, SolveAcyclic, ...), so callers who don't
+// thread a Workspace of their own still amortize scratch storage across
+// calls instead of paying a cold allocation set per solve. The engine
+// layer keeps its own per-goroutine pool; this one only backs the
+// package-level helpers.
+var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+func acquireWorkspace() *Workspace   { return wsPool.Get().(*Workspace) }
+func releaseWorkspace(ws *Workspace) { wsPool.Put(ws) }
 
 // Stats returns a snapshot of the cumulative evaluation counters
 // (including the flow solver's growth counter).

@@ -118,6 +118,15 @@ func (c *Cache) Stats() CacheStats {
 	}
 }
 
+// NoteBytesHit records a hit answered by a byte-level front cache
+// sitting above this one (the service's raw-body → response-bytes
+// memo). Such a hit is still "a lookup answered from a completed
+// entry" — the front entry was written from this cache's rendering —
+// so it counts toward Hits and keeps the exported counters consistent
+// with what clients observe. The LRU order is deliberately untouched:
+// the front cache answered without consulting an entry.
+func (c *Cache) NoteBytesHit() { c.hits.Add(1) }
+
 // Contains reports whether a completed plan for the request is
 // currently cached, without bumping the LRU or the counters — a
 // read-only probe for callers sizing or introspecting a cache.

@@ -31,21 +31,18 @@ func (w *Workspace) ints(p *[]int, n int) []int {
 }
 
 // Network returns the workspace's reusable network reset to n empty
-// nodes. Per-node edge slices keep their backing arrays across calls,
-// so rebuilding a similarly-shaped network allocates nothing once warm.
-// The returned network aliases the workspace: it is only valid until
-// the next Network call and must not be retained.
+// nodes. The raw edge list and CSR arrays keep their backing storage
+// across calls, so rebuilding a similarly-shaped network allocates
+// nothing once warm. The returned network aliases the workspace: it is
+// only valid until the next Network call and must not be retained.
 func (w *Workspace) Network(n int) *Network {
-	if cap(w.net.adj) < n {
-		w.net.adj = make([][]edge, n)
-		w.grows++
-	}
-	w.net.adj = w.net.adj[:n]
-	for i := range w.net.adj {
-		w.net.adj[i] = w.net.adj[i][:0]
-	}
-	w.net.n = n
-	return &w.net
+	net := &w.net
+	net.n = n
+	net.rawFrom = net.rawFrom[:0]
+	net.rawTo = net.rawTo[:0]
+	net.rawCap = net.rawCap[:0]
+	net.built = false
+	return net
 }
 
 // Max computes the maximum s-t flow on g using the workspace's scratch.
@@ -60,7 +57,9 @@ func (w *Workspace) Max(g *Network, s, t int) float64 {
 // paper's throughput functional, with three evaluation-loop savings
 // over the naive form:
 //
-//   - per-target Clone is replaced by in-place Reset;
+//   - per-target Clone is replaced by in-place Reset (a flat memcpy on
+//     the CSR capacity array), skipped entirely when the previous query
+//     pushed no flow;
 //   - BFS/DFS scratch is reused across targets (and across calls);
 //   - each target's Dinic stops early once its flow reaches the running
 //     minimum (a flow that provably meets the current min cannot lower
@@ -80,7 +79,7 @@ func (w *Workspace) MinFromSource(g *Network, s int, targets []int) float64 {
 		}
 		w.flowEvals++
 		f := g.maxBounded(s, t, minFlow, w)
-		consumed = true
+		consumed = f > 0 // a zero-flow query leaves the residuals untouched
 		if f < minFlow {
 			minFlow = f
 		}
@@ -99,5 +98,6 @@ func (w *Workspace) FlowEvals() int64 { return w.flowEvals }
 
 // Grows returns how many times scratch storage had to (re)allocate —
 // zero growth across a steady-state run is what "zero-allocation
-// pipeline" means, and the engine surfaces this counter per solve.
-func (w *Workspace) Grows() int64 { return w.grows }
+// pipeline" means, and the engine surfaces this counter per solve. The
+// reusable network's raw-edge and CSR backing arrays count too.
+func (w *Workspace) Grows() int64 { return w.grows + w.net.grows }

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+)
+
+// frontCache memoizes completed /v1/solve answers keyed by the SHA-256
+// of the raw request body. The content-addressed plan cache already
+// makes a repeated solve free of solver work, but a hit there still
+// pays JSON decode, canonical re-encode and the key hash on every
+// request — which is the entire cost of the service's steady-state hot
+// path. Byte-identical resubmissions (the overwhelmingly common case:
+// clients and the CI smoke replay fixed documents) short-circuit here
+// and are answered from stored response bytes with one hash and one map
+// lookup. Requests that mean the same thing but are rendered
+// differently miss and fall through to the plan cache, so correctness
+// never depends on client formatting.
+//
+// Entries are only written after the canonical path produced a
+// successful response, and responses are pure functions of the request,
+// so a front entry can never disagree with the plan cache — even after
+// the plan cache evicts. A frontCache is safe for concurrent use.
+type frontCache struct {
+	mu      sync.Mutex
+	max     int
+	lru     *list.List // of *frontEntry, front = most recent
+	entries map[[sha256.Size]byte]*list.Element
+}
+
+// frontEntry is one memoized response document.
+type frontEntry struct {
+	key [sha256.Size]byte
+	out []byte
+}
+
+func newFrontCache(max int) *frontCache {
+	return &frontCache{
+		max:     max,
+		lru:     list.New(),
+		entries: make(map[[sha256.Size]byte]*list.Element),
+	}
+}
+
+// get returns the stored response for a raw body, bumping its recency.
+// The returned bytes are shared and must be treated as immutable.
+func (f *frontCache) get(k [sha256.Size]byte) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	el, ok := f.entries[k]
+	if !ok {
+		return nil, false
+	}
+	f.lru.MoveToFront(el)
+	return el.Value.(*frontEntry).out, true
+}
+
+// put stores a completed response under the raw body's hash, enforcing
+// the LRU bound.
+func (f *frontCache) put(k [sha256.Size]byte, out []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if el, ok := f.entries[k]; ok {
+		f.lru.MoveToFront(el)
+		return
+	}
+	f.entries[k] = f.lru.PushFront(&frontEntry{key: k, out: out})
+	for f.lru.Len() > f.max {
+		oldest := f.lru.Back()
+		f.lru.Remove(oldest)
+		delete(f.entries, oldest.Value.(*frontEntry).key)
+	}
+}
