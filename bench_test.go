@@ -353,6 +353,32 @@ func BenchmarkSolveAcyclicWorkspace(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveLargeN is the scaling axis: the full acyclic pipeline
+// (dichotomic search + Lemma 4.6 build) on seeded heavy-tailed
+// LargeScale platforms at 10k and 100k nodes, on one warm workspace.
+// The per-op time growing linearly from n=10k to n=100k (×10, not
+// ×100) is the scaling claim CI gates via BENCH_baseline.json.
+func BenchmarkSolveLargeN(b *testing.B) {
+	for _, size := range []int{10_000, 100_000} {
+		ins, err := generator.LargeScale(generator.LargeScaleConfig{
+			Nodes: size, POpen: 0.7, Seed: 2014,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(benchSize(size), func(b *testing.B) {
+			ws := repro.NewWorkspace()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := repro.SolveAcyclicWithWorkspace(ins, ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkTreeDecompose(b *testing.B) {
 	ins := randomMixed(9, 100, 100)
 	T, s, err := repro.SolveAcyclic(ins)

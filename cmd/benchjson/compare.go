@@ -79,6 +79,26 @@ func compareDocs(oldDoc, newDoc *Doc, tolerancePct float64, overrides map[string
 		rows = append(rows, fmt.Sprintf("%-44s %12s → %12s (%+6.1f%%)  allocs %6d → %6d (%+6.1f%%)  %s",
 			resultKey(*o), fmtNs(o.NsPerOp), fmtNs(n.NsPerOp), nsDelta,
 			o.AllocsPerOp, n.AllocsPerOp, allocDelta, verdict))
+
+		// Custom metrics (loadgen percentiles, probes/event, ...) ride
+		// the same gate: latency-like units are lower-better like
+		// ns/op, throughput units (rps) regress on a drop instead.
+		for _, unit := range sortedUnits(o.Metrics) {
+			ov := o.Metrics[unit]
+			nv, ok := n.Metrics[unit]
+			if !ok {
+				regs = append(regs, regression{resultKey(*o), fmt.Sprintf("metric %q missing from the new run", unit)})
+				rows = append(rows, fmt.Sprintf("%-44s   metric %-8s %10.4g → MISSING", resultKey(*o), unit, ov))
+				continue
+			}
+			mVerdict := "ok"
+			if metricRegressed(unit, ov, nv, tol) {
+				mVerdict = "REGRESSION"
+				regs = append(regs, regression{resultKey(*o), fmt.Sprintf("metric %s %+.1f%% (%.4g → %.4g), tolerance %.0f%%", unit, relDelta(ov, nv), ov, nv, tol)})
+			}
+			rows = append(rows, fmt.Sprintf("%-44s   metric %-8s %10.4g → %10.4g (%+6.1f%%)  %s",
+				resultKey(*o), unit, ov, nv, relDelta(ov, nv), mVerdict))
+		}
 	}
 	for i := range newDoc.Results {
 		r := &newDoc.Results[i]
@@ -122,6 +142,28 @@ func lookupOld(doc *Doc, name string) *Result {
 		}
 	}
 	return nil
+}
+
+// sortedUnits returns a metric map's units in stable order.
+func sortedUnits(m map[string]float64) []string {
+	units := make([]string, 0, len(m))
+	for u := range m {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	return units
+}
+
+// metricRegressed applies the tolerance to one custom metric with the
+// right polarity: "rps" (the loadgen's achieved rate) is
+// higher-better, so it regresses on a drop beyond the tolerance;
+// every other unit (latency percentiles, probes/event) is
+// lower-better, exactly like ns/op.
+func metricRegressed(unit string, old, cur, tolerancePct float64) bool {
+	if unit == "rps" {
+		return cur < old*(1-tolerancePct/100)
+	}
+	return exceeds(old, cur, tolerancePct)
 }
 
 // exceeds reports whether cur is a regression over old beyond the

@@ -256,3 +256,81 @@ func TestParseSkipsNoise(t *testing.T) {
 		t.Fatalf("noise parsed as results: %+v", doc.Results)
 	}
 }
+
+// loadgenBench builds a loadgen-shaped result with percentile metrics.
+func loadgenBench(ns, p99, rps float64) Result {
+	return Result{
+		Name: "BenchmarkLoadgenSolve", Iterations: 100, NsPerOp: ns,
+		Metrics: map[string]float64{"p50-ms": 1.0, "p99-ms": p99, "rps": rps},
+	}
+}
+
+// TestCompareGatesPercentileMetrics: latency-like custom metrics are
+// lower-better and ride the same tolerance as ns/op — a loadgen p99
+// blow-up fails the gate even when the mean stays flat.
+func TestCompareGatesPercentileMetrics(t *testing.T) {
+	oldPath := writeDoc(t, "old.json", &Doc{Results: []Result{loadgenBench(1000, 2.0, 50)}})
+	newPath := writeDoc(t, "new.json", &Doc{Results: []Result{loadgenBench(1000, 3.0, 50)}})
+	var out, errb strings.Builder
+	if code := runCompare(oldPath, newPath, 25, nil, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1; report:\n%s", code, out.String())
+	}
+	if !strings.Contains(errb.String(), "p99-ms") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+}
+
+// TestCompareGatesRPSWithPolarity: rps is higher-better — a drop
+// beyond tolerance regresses, a rise never does.
+func TestCompareGatesRPSWithPolarity(t *testing.T) {
+	oldPath := writeDoc(t, "old.json", &Doc{Results: []Result{loadgenBench(1000, 2.0, 50)}})
+	dropPath := writeDoc(t, "drop.json", &Doc{Results: []Result{loadgenBench(1000, 2.0, 30)}})
+	var out, errb strings.Builder
+	if code := runCompare(oldPath, dropPath, 25, nil, &out, &errb); code != 1 {
+		t.Fatalf("rps 50→30 under 25%% tolerance: exit %d, want 1; report:\n%s", code, out.String())
+	}
+	if !strings.Contains(errb.String(), "rps") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+	risePath := writeDoc(t, "rise.json", &Doc{Results: []Result{loadgenBench(1000, 2.0, 90)}})
+	out.Reset()
+	errb.Reset()
+	if code := runCompare(oldPath, risePath, 25, nil, &out, &errb); code != 0 {
+		t.Fatalf("rps 50→90: exit %d, want 0; stderr: %s", code, errb.String())
+	}
+}
+
+// TestCompareFailsOnMissingMetric: a metric recorded in the baseline
+// but absent from the new run is a coverage regression, like a
+// missing benchmark.
+func TestCompareFailsOnMissingMetric(t *testing.T) {
+	oldPath := writeDoc(t, "old.json", &Doc{Results: []Result{loadgenBench(1000, 2.0, 50)}})
+	cur := loadgenBench(1000, 2.0, 50)
+	delete(cur.Metrics, "p99-ms")
+	newPath := writeDoc(t, "new.json", &Doc{Results: []Result{cur}})
+	var out, errb strings.Builder
+	if code := runCompare(oldPath, newPath, 25, nil, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1; report:\n%s", code, out.String())
+	}
+	if !strings.Contains(errb.String(), "missing") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+}
+
+// TestCompareMetricsWithinTolerancePass: small drifts in both
+// directions stay under the gate (and use the per-benchmark override
+// when present).
+func TestCompareMetricsWithinTolerancePass(t *testing.T) {
+	oldPath := writeDoc(t, "old.json", &Doc{Results: []Result{loadgenBench(1000, 2.0, 50)}})
+	newPath := writeDoc(t, "new.json", &Doc{Results: []Result{loadgenBench(1100, 2.4, 45)}})
+	var out, errb strings.Builder
+	if code := runCompare(oldPath, newPath, 25, nil, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, errb.String())
+	}
+	// A tightened override catches what the default tolerance let by.
+	out.Reset()
+	errb.Reset()
+	if code := runCompare(oldPath, newPath, 25, map[string]float64{"BenchmarkLoadgenSolve": 10}, &out, &errb); code != 1 {
+		t.Fatalf("override 10%%: exit %d, want 1; report:\n%s", code, out.String())
+	}
+}

@@ -36,6 +36,13 @@
 //	    per-item plans), plus /healthz and /metrics. Identical requests
 //	    are answered from a content-addressed plan cache.
 //
+//	bmpcast loadgen -addr http://host:8080 [-rps 50] [-duration 10s] [-seed 1] [-pjob 0.15] [-format text|bench]
+//	    Replay a seeded trace of mixed solve/job/stream traffic against
+//	    a live `bmpcast serve` at a target request rate, through the Go
+//	    SDK only, and report sustained RPS plus p50/p95/p99 latency per
+//	    endpoint. -format bench emits go-bench-style lines that
+//	    cmd/benchjson converts and gates.
+//
 //	bmpcast demo fig1|fig6|57|sqrt41
 //	    Walk through the paper's showcase instances.
 //
@@ -105,6 +112,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdSim(args[1:], stdout)
 	case "serve":
 		err = cmdServe(args[1:], stdout)
+	case "loadgen":
+		err = cmdLoadgen(args[1:], stdout)
 	case "demo":
 		err = cmdDemo(args[1:], stdout)
 	case "-h", "--help", "help":
@@ -122,7 +131,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: bmpcast <solve|solvers|sweep|generate|simulate|sim|serve|demo> [flags]
+	fmt.Fprintln(w, `usage: bmpcast <solve|solvers|sweep|generate|simulate|sim|serve|loadgen|demo> [flags]
   solve    -file inst.json [-solver acyclic] [-cyclic] [-verbose] [-wire] [-remote http://host:8080]
   solvers
   sweep    -dist <Unif100|Power1|Power2|LN1|LN2|PLab> -n <nodes> -p <openprob> -count <instances> [-solver acyclic-search] [-seed N] [-workers N] [-wire] [-remote http://host:8080] [-cpuprofile f] [-memprofile f]
@@ -130,6 +139,7 @@ func usage(w io.Writer) {
   simulate -file inst.json [-packets 300] [-seed 1]
   sim      [-seed N] [-events 30] [-n 20] [-p 0.7] [-dist Unif100] [-solvers acyclic|all|a,b,c] [-format json|csv] [-timing] [-norepair] [-cpuprofile f] [-memprofile f]
   serve    [-addr :8080] [-workers 4] [-cache 1024]
+  loadgen  -addr http://host:8080 [-rps 50] [-duration 10s] [-seed N] [-n 24] [-p 0.7] [-dist Unif100] [-solver acyclic] [-pjob 0.15] [-jobbatch 4] [-conc 64] [-format text|bench]
   demo     fig1|fig6|57|sqrt41`)
 }
 

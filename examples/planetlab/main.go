@@ -51,4 +51,31 @@ func main() {
 	}
 
 	fmt.Println("\nPaper's Figure 19 shape: all means ≥ 0.95, acyclic overlays nearly free.")
+
+	traceDriven()
+}
+
+// traceDriven is the measured-matrix pipeline at scale: a
+// PlanetLab-shaped measurement campaign (ground truth observed through
+// noise and partial sampling) is fitted to the LastMile model, then
+// bootstrap-resampled into a 10k-node tight platform and solved — the
+// same path a real bandwidth matrix would take.
+func traceDriven() {
+	_, m := repro.SynthesizeMeasurements(repro.SynthConfig{
+		N: 60, NoiseStd: 0.15, ObserveP: 0.7, Seed: 2014,
+	})
+	ins, err := repro.InstanceFromMeasurements(m, repro.TraceDrivenConfig{
+		Nodes: 10_000, POpen: 0.7, Seed: 2014,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tstar := repro.OptimalCyclicThroughput(ins)
+	tac, _, err := repro.OptimalAcyclicThroughput(ins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntrace-driven: 60-node campaign fitted and resampled to %d receivers\n", ins.N()+ins.M())
+	fmt.Printf("T* = %.4f, acyclic %.4f (ratio %.4f) — measured heterogeneity, same conclusion\n",
+		tstar, tac, tac/tstar)
 }

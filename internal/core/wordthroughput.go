@@ -18,25 +18,45 @@ func WordFeasible(ins *platform.Instance, w Word, T float64) bool {
 	if w.Validate(ins) != nil || T <= 0 {
 		return false
 	}
+	return wordFeasibleKernel(ins, w, T)
+}
+
+// wordFeasibleKernel is WordFeasible minus the O(L) word validation, for
+// loops that probe one already-validated word at many throughputs (the
+// long-word bisection runs it ~dozens of times per refinement, which at
+// n=100k made redundant validation and the non-intrinsified NaN-aware
+// math.Max the hottest region of the whole large-n solve). The branchy
+// clamps are bit-identical to math.Max on these never-NaN operands.
+func wordFeasibleKernel(ins *platform.Instance, w Word, T float64) bool {
+	if T <= 0 {
+		return false
+	}
 	eps := tol(T)
+	bO, bG := ins.OpenBW, ins.GuardedBW
+	Tme := T - eps
 	O := ins.B0
 	G := 0.0
 	i, j := 0, 0
 	for _, l := range w {
 		if l == platform.Guarded {
-			if O < T-eps {
+			if O < Tme {
 				return false
 			}
 			O -= T
-			G += ins.GuardedBW[j]
+			G += bG[j]
 			j++
 		} else {
-			if O+G < T-eps {
+			if O+G < Tme {
 				return false
 			}
-			fromOpen := math.Max(0, T-G)
-			O += ins.OpenBW[i] - fromOpen
-			G = math.Max(0, G-T)
+			fromOpen := T - G
+			if fromOpen < 0 {
+				fromOpen = 0
+			}
+			O += bO[i] - fromOpen
+			if G -= T; G < 0 {
+				G = 0
+			}
 			i++
 		}
 	}
@@ -119,13 +139,20 @@ const wordExactCutoff = 300
 // the ratios the experiments report.
 func wordThroughputBisect(ins *platform.Instance, w Word) float64 {
 	hi := OptimalCyclicThroughput(ins)
-	if WordFeasible(ins, w, hi) {
+	// The caller (WordThroughputWithWorkspace) already validated w, so the
+	// probes go straight to the kernel instead of re-validating 80 times.
+	if wordFeasibleKernel(ins, w, hi) {
 		return hi
 	}
 	lo := 0.0
 	for iter := 0; iter < 80; iter++ {
 		mid := lo + (hi-lo)/2
-		if WordFeasible(ins, w, mid) {
+		if mid <= lo || mid >= hi {
+			// Bracket exhausted at float64 resolution; further halvings
+			// cannot move lo.
+			break
+		}
+		if wordFeasibleKernel(ins, w, mid) {
 			lo = mid
 		} else {
 			hi = mid

@@ -94,6 +94,47 @@ func (s WorkspaceStats) Add(other WorkspaceStats) WorkspaceStats {
 // NewWorkspace returns an empty workspace.
 func NewWorkspace() *Workspace { return &Workspace{} }
 
+// Prealloc grows the workspace's scratch buffers to serve instances of
+// up to total nodes (source + receivers) without further reallocation,
+// so a solve at n=100k starts from right-sized scratch instead of
+// paying a cascade of mid-solve reallocations. It is a deliberate
+// sizing hint, not scratch churn, so it does not count toward
+// WorkspaceStats.Grows. Preallocating for a total the workspace already
+// serves is a no-op; contents are untouched either way.
+func (ws *Workspace) Prealloc(total int) {
+	if ws == nil || total <= 1 {
+		return
+	}
+	if cap(ws.targets) < total-1 {
+		ws.targets = make([]int, 0, total-1)
+	}
+	if cap(ws.resid) < total {
+		ws.resid = make([]float64, 0, total)
+	}
+	if cap(ws.wordCur) < total-1 {
+		ws.wordCur = make(Word, 0, total-1)
+	}
+	if cap(ws.wordBest) < total-1 {
+		ws.wordBest = make(Word, 0, total-1)
+	}
+	if cap(ws.cands) < total {
+		ws.cands = make([]wCand, 0, total)
+	}
+	if cap(ws.openQ) < total {
+		ws.openQ = make([]supplier, 0, total)
+	}
+	if cap(ws.guardedQ) < total {
+		ws.guardedQ = make([]supplier, 0, total)
+	}
+	if cap(ws.poolA) < total {
+		ws.poolA = make([]float64, 0, total)
+	}
+	if cap(ws.poolB) < total {
+		ws.poolB = make([]float64, 0, total)
+	}
+	ws.flow.Prealloc(total)
+}
+
 // wsPool recycles private workspaces for the convenience wrappers
 // (OptimalAcyclicThroughput, SolveAcyclic, ...), so callers who don't
 // thread a Workspace of their own still amortize scratch storage across

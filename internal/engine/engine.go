@@ -184,6 +184,16 @@ func ReleaseWorkspace(ws *core.Workspace) {
 // checked out (acquired and not yet released).
 func LeasedWorkspaces() int64 { return wsLeased.Load() }
 
+// wsGrows accumulates scratch (re)allocations across every finished
+// solve — the process-lifetime sum of Result.Evals.Grows. A pool in
+// steady state stops adding to it; sustained growth under load means
+// the pool keeps meeting instances larger than anything it has served.
+var wsGrows atomic.Int64
+
+// WorkspaceGrows reports the cumulative scratch growths across all
+// solves, for the service /metrics endpoint.
+func WorkspaceGrows() int64 { return wsGrows.Load() }
+
 // RepairFunc is a solver's incremental re-solve entry point: given the
 // mutated instance and the previous event's encoding word, produce a
 // verified result, falling back to a full solve internally when the
@@ -232,6 +242,10 @@ func (f *funcSolver) solveWith(ctx context.Context, ins *platform.Instance, ws *
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	// Pre-size the scratch for this instance before the stats snapshot:
+	// a pooled workspace warmed on paper-sized instances would otherwise
+	// pay a cascade of mid-solve grows the first time it sees n=100k.
+	ws.Prealloc(ins.Total())
 	before := ws.Stats()
 	start := time.Now()
 	res, err := f.solve(ins, ws)
@@ -257,6 +271,7 @@ func finishResult(res *Result, name string, evals core.WorkspaceStats, start tim
 	}
 	res.Evals = evals
 	res.Wall = time.Since(start)
+	wsGrows.Add(evals.Grows)
 }
 
 // SolveIsolated runs s on a dedicated, never-pooled workspace — the

@@ -638,6 +638,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "bmpcast_inflight %d\n", s.inflightN.Load())
 	fmt.Fprintf(w, "bmpcast_sessions_open %d\n", s.OpenSessions())
 	fmt.Fprintf(w, "bmpcast_workspaces_leased %d\n", engine.LeasedWorkspaces())
+	fmt.Fprintf(w, "bmpcast_workspace_grows_total %d\n", engine.WorkspaceGrows())
 	fmt.Fprintf(w, "bmpcast_worker_permits %d\n", s.cfg.Workers)
 	if s.cache != nil {
 		st := s.cache.Stats()

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/distribution"
+	"repro/internal/generator"
+	"repro/internal/platform"
+)
+
+// Loadgen traces: where the churn Trace above mutates one platform and
+// re-solves it, a LoadTrace is service traffic — a seeded stream of
+// independent solve and async-job requests that `bmpcast loadgen`
+// replays against a live daemon at a target rate. The trace holds the
+// fully generated instances, so replay does no RNG work of its own and
+// the same config + seed is byte-reproducible (the loadgen's latency
+// report obviously is not — that is the measurement).
+
+// LoadKind is the kind of one traffic op.
+type LoadKind uint8
+
+const (
+	// LoadSolve is one synchronous POST /v1/solve round trip.
+	LoadSolve LoadKind = iota
+	// LoadJob is an async batch: POST /v1/jobs, then the NDJSON stream
+	// drained to EOF (GET /v1/jobs/{id}/stream).
+	LoadJob
+)
+
+// String names the kind.
+func (k LoadKind) String() string {
+	switch k {
+	case LoadSolve:
+		return "solve"
+	case LoadJob:
+		return "job"
+	default:
+		return fmt.Sprintf("LoadKind(%d)", uint8(k))
+	}
+}
+
+// LoadOp is one traffic op: a solve carries exactly one instance, a
+// job carries its whole batch.
+type LoadOp struct {
+	Kind      LoadKind
+	Instances []*platform.Instance
+}
+
+// LoadConfig parameterizes a generated traffic trace.
+type LoadConfig struct {
+	// Ops is the number of traffic ops (0 means 100).
+	Ops int
+	// Nodes is the receiver count per generated instance (0 means 24).
+	Nodes int
+	// POpen is the probability a node is open; negative means 0.7
+	// (zero is meaningful, as in TraceConfig).
+	POpen float64
+	// Dist names the bandwidth distribution ("" means Unif100).
+	Dist string
+	// PJob is the fraction of ops submitted as async jobs; negative
+	// means 0.15 (zero is meaningful: all-solve traffic).
+	PJob float64
+	// JobBatch is the number of instances per job (< 2 means 4).
+	JobBatch int
+	// Seed drives everything: same config + seed ⇒ identical trace.
+	Seed int64
+}
+
+// withDefaults fills zero fields.
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Ops == 0 {
+		c.Ops = 100
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 24
+	}
+	if c.POpen < 0 {
+		c.POpen = 0.7
+	}
+	if c.Dist == "" {
+		c.Dist = "Unif100"
+	}
+	if c.PJob < 0 {
+		c.PJob = 0.15
+	}
+	if c.JobBatch < 2 {
+		c.JobBatch = 4
+	}
+	return c
+}
+
+// LoadTrace is a generated traffic scenario.
+type LoadTrace struct {
+	Config LoadConfig
+	Ops    []LoadOp
+}
+
+// GenerateLoadTrace draws a deterministic traffic trace: each op's
+// kind is one weighted coin, then its instances come from
+// generator.Random under the same seeded stream, so the whole trace —
+// kinds, batch shapes, every bandwidth — replays identically from the
+// config alone.
+func GenerateLoadTrace(cfg LoadConfig) (*LoadTrace, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Ops < 1 {
+		return nil, fmt.Errorf("sim: need at least 1 traffic op, got %d", cfg.Ops)
+	}
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("sim: need at least 2 nodes per instance, got %d", cfg.Nodes)
+	}
+	if cfg.POpen > 1 {
+		return nil, fmt.Errorf("sim: open probability %v out of [0,1]", cfg.POpen)
+	}
+	if cfg.PJob > 1 {
+		return nil, fmt.Errorf("sim: job fraction %v out of [0,1]", cfg.PJob)
+	}
+	dist, err := distribution.ByName(cfg.Dist)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ops := make([]LoadOp, 0, cfg.Ops)
+	for i := 0; i < cfg.Ops; i++ {
+		op := LoadOp{Kind: LoadSolve}
+		count := 1
+		if rng.Float64() < cfg.PJob {
+			op.Kind = LoadJob
+			count = cfg.JobBatch
+		}
+		op.Instances = make([]*platform.Instance, count)
+		for j := range op.Instances {
+			if op.Instances[j], err = generator.Random(dist, cfg.Nodes, cfg.POpen, rng); err != nil {
+				return nil, fmt.Errorf("sim: traffic op %d: %w", i, err)
+			}
+		}
+		ops = append(ops, op)
+	}
+	return &LoadTrace{Config: cfg, Ops: ops}, nil
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestGenerateLoadTraceReproducible is the loadgen determinism
+// contract: the same config draws the same trace, byte for byte
+// through the canonical JSON encoding, and a different seed does not.
+func TestGenerateLoadTraceReproducible(t *testing.T) {
+	cfg := LoadConfig{Ops: 60, Nodes: 12, POpen: 0.7, Seed: 9}
+	a, err := GenerateLoadTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateLoadTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("same seed produced different trace bytes")
+	}
+	other, err := GenerateLoadTrace(LoadConfig{Ops: 60, Nodes: 12, POpen: 0.7, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := json.Marshal(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ab, ob) {
+		t.Fatal("different seeds produced identical trace bytes")
+	}
+}
+
+// TestGenerateLoadTraceMix checks the op shapes: solves carry one
+// instance, jobs carry the configured batch, and the default mix
+// actually produces both kinds.
+func TestGenerateLoadTraceMix(t *testing.T) {
+	tr, err := GenerateLoadTrace(LoadConfig{Ops: 200, Nodes: 8, POpen: 0.7, PJob: 0.3, JobBatch: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Ops) != 200 {
+		t.Fatalf("drew %d ops, want 200", len(tr.Ops))
+	}
+	kinds := make(map[LoadKind]int)
+	for i, op := range tr.Ops {
+		kinds[op.Kind]++
+		switch op.Kind {
+		case LoadSolve:
+			if len(op.Instances) != 1 {
+				t.Fatalf("op %d: solve with %d instances", i, len(op.Instances))
+			}
+		case LoadJob:
+			if len(op.Instances) != 5 {
+				t.Fatalf("op %d: job with %d instances, want 5", i, len(op.Instances))
+			}
+		}
+		for _, ins := range op.Instances {
+			if err := ins.Validate(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if kinds[LoadSolve] == 0 || kinds[LoadJob] == 0 {
+		t.Fatalf("degenerate mix: %v", kinds)
+	}
+}
+
+// TestGenerateLoadTraceAllSolve: PJob = 0 is meaningful (all-solve
+// traffic), not a default trigger.
+func TestGenerateLoadTraceAllSolve(t *testing.T) {
+	tr, err := GenerateLoadTrace(LoadConfig{Ops: 50, Nodes: 8, POpen: 0.7, PJob: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range tr.Ops {
+		if op.Kind != LoadSolve {
+			t.Fatalf("op %d: kind %v under PJob=0", i, op.Kind)
+		}
+	}
+}
+
+func TestGenerateLoadTraceErrors(t *testing.T) {
+	if _, err := GenerateLoadTrace(LoadConfig{Ops: -1}); err == nil {
+		t.Error("expected error for negative Ops")
+	}
+	if _, err := GenerateLoadTrace(LoadConfig{Nodes: 1}); err == nil {
+		t.Error("expected error for Nodes < 2")
+	}
+	if _, err := GenerateLoadTrace(LoadConfig{POpen: 1.5}); err == nil {
+		t.Error("expected error for POpen out of range")
+	}
+	if _, err := GenerateLoadTrace(LoadConfig{PJob: 1.5}); err == nil {
+		t.Error("expected error for PJob out of range")
+	}
+	if _, err := GenerateLoadTrace(LoadConfig{Dist: "nope"}); err == nil {
+		t.Error("expected error for unknown distribution")
+	}
+}

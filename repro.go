@@ -413,6 +413,28 @@ func TightHomogeneous(n, m int, delta float64) (*Instance, error) {
 	return generator.TightHomogeneous(n, m, delta)
 }
 
+// LargeScaleConfig seeds a large-n heterogeneous draw (the 10k–100k
+// scaling axis).
+type LargeScaleConfig = generator.LargeScaleConfig
+
+// LargeScaleInstance draws a seeded large-n tight instance with
+// heavy-tailed bandwidths, preallocated for the 10k–100k-node scaling
+// studies; same config ⇒ bit-identical instance.
+func LargeScaleInstance(cfg LargeScaleConfig) (*Instance, error) {
+	return generator.LargeScale(cfg)
+}
+
+// TraceDrivenConfig configures InstanceFromMeasurements.
+type TraceDrivenConfig = generator.TraceDrivenConfig
+
+// InstanceFromMeasurements builds a broadcast instance from a measured
+// pairwise bandwidth matrix via the fitted LastMile model — one
+// receiver per measured node, or bootstrap-resampled up to cfg.Nodes —
+// the trace-driven twin of LargeScaleInstance.
+func InstanceFromMeasurements(m *Measurements, cfg TraceDrivenConfig) (*Instance, error) {
+	return generator.FromMeasurements(m, cfg)
+}
+
 // Figure1Instance is the paper's running example (T* = 4.4, T*_ac = 4).
 func Figure1Instance() *Instance { return generator.Figure1() }
 
@@ -464,6 +486,17 @@ func NewMeasurements(bw [][]float64) (*Measurements, error) { return bedibe.NewM
 // coordinate descent, standing in for the paper's Bedibe toolbox.
 func FitLastMile(m *Measurements, rounds int) (*LastMileParams, error) {
 	return bedibe.FitLastMile(m, rounds)
+}
+
+// SynthConfig drives synthetic measurement-campaign generation (a
+// PlanetLab-shaped campaign: ground truth observed through noise and
+// partial sampling).
+type SynthConfig = bedibe.SynthConfig
+
+// SynthesizeMeasurements draws ground-truth LastMile parameters and
+// the noisy partial measurement matrix they induce.
+func SynthesizeMeasurements(cfg SynthConfig) (*LastMileParams, *Measurements) {
+	return bedibe.Synthesize(cfg)
 }
 
 // InstanceFromEstimate assembles a broadcast instance from fitted
