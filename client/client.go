@@ -8,6 +8,17 @@
 //	plan, err := c.Solve(ctx, engine.NewRequest(ins, engine.WithSolver("acyclic")))
 //	if errors.Is(err, engine.ErrInfeasible) { ... } // works across the network
 //
+// A client can also front a whole replica cluster. Configured with
+// several endpoints it routes every request to the replica that owns
+// the request's content-addressed key on the cluster's consistent-hash
+// ring — the same ring the replicas shard their plan caches by — so a
+// request lands on the node whose cache memoizes its plan:
+//
+//	c, err := client.NewFromConfig(client.Config{
+//	    Endpoints: []string{"http://a:8080", "http://b:8080", "http://c:8080"},
+//	    Hedge:     client.Hedge{After: 150 * time.Millisecond},
+//	})
+//
 // Three calling styles:
 //
 //   - Solve / Batch: one synchronous round trip (POST /v1/solve,
@@ -18,11 +29,16 @@
 //   - Job.Status: progress polling.
 //
 // Idempotent calls (every solve is a pure function of its request, so
-// all of them) are retried on transport errors and 5xx responses with
-// context-aware exponential backoff; 4xx and 504 responses are typed
-// failures, never retried. A Stream that loses its connection
-// mid-batch resumes from its item-index cursor — the service replays
-// completed items from memory, nothing is re-solved.
+// all of them) are retried on transport errors and 5xx responses —
+// rotating through the replicas in ring order before backing off, and
+// optionally hedging onto the next replica when the owner stays silent
+// past Hedge.After. 4xx and 504 responses are typed failures, never
+// retried. Jobs are stateful per replica: Submit pins the job handle
+// to the replica that accepted it, and Status/Stream stick to that
+// endpoint so a resumed stream replays the same in-memory lines. A
+// Stream that loses its connection mid-batch resumes from its
+// item-index cursor — the service replays completed items from memory,
+// nothing is re-solved.
 package client
 
 import (
@@ -34,9 +50,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/wire"
 )
@@ -49,85 +66,281 @@ type (
 	Plan    = wire.Plan
 )
 
-// Client talks to one bmpcast service. Create with New; a Client is
-// safe for concurrent use.
-type Client struct {
-	base    string
-	httpc   *http.Client
-	retries int           // extra attempts after the first
-	backoff time.Duration // first retry delay, doubled per attempt
+// Retry tunes the retry loop for idempotent calls. The zero value
+// means the defaults (2 extra attempts, 100ms initial backoff); set
+// Retries negative to disable retrying altogether.
+type Retry struct {
+	// Retries is the number of extra attempts after the first. 0 means
+	// the default (2); negative disables retrying.
+	Retries int
+	// Backoff is the pause before the first retry, doubled per retry
+	// cycle. 0 means the default (100ms).
+	Backoff time.Duration
 }
 
-// Option tunes a Client under construction.
-type Option func(*Client)
+// Hedge tunes hedged requests across replicas: when the replica owning
+// a request's key stays silent for After, the client races a second
+// copy against the next replica in ring order and keeps whichever
+// answers first (solves are pure, so the duplicate is harmless — and
+// the loser's singleflighted solve is shared, not repeated). Zero
+// disables hedging; hedging never applies to single-endpoint clients
+// or non-idempotent calls (Submit).
+type Hedge struct {
+	After time.Duration
+}
+
+// Config describes a client. Endpoints is the replica set (one entry
+// for a classic single-server deployment); the other fields default
+// sensibly from their zero values.
+type Config struct {
+	// Endpoints lists the service base URLs (e.g.
+	// "http://127.0.0.1:8080"; trailing slashes are tolerated). With
+	// more than one, requests route by content-addressed key on the
+	// cluster ring.
+	Endpoints []string
+	// Retry tunes retries for idempotent calls.
+	Retry Retry
+	// Hedge tunes cross-replica request hedging (disabled by default).
+	Hedge Hedge
+	// HTTPClient substitutes the underlying *http.Client (timeouts,
+	// transports, instrumentation). Defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// VNodes overrides the ring's virtual-node count (0 means
+	// cluster.DefaultVNodes). Every client and replica of one cluster
+	// must agree on it.
+	VNodes int
+}
+
+// Client talks to a bmpcast service — one replica or a cluster of
+// them. Create with New or NewFromConfig; a Client is safe for
+// concurrent use.
+type Client struct {
+	httpc   *http.Client
+	retries int           // extra attempts after the first
+	backoff time.Duration // first retry delay, doubled per retry cycle
+	hedge   time.Duration // 0 = hedging disabled
+	vnodes  int
+
+	mu        sync.RWMutex // guards endpoints+ring (RefreshMembers swaps them)
+	endpoints []string     // normalized, configured order
+	ring      *cluster.Ring
+}
+
+// Option tunes a Config under construction (the functional-option
+// style predating Config; options remain first-class and are applied
+// on top of the config New builds).
+type Option func(*Config)
 
 // WithHTTPClient substitutes the underlying *http.Client (timeouts,
 // transports, instrumentation).
-func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = h } }
+func WithHTTPClient(h *http.Client) Option { return func(c *Config) { c.HTTPClient = h } }
 
 // WithRetry sets how many times an idempotent call is retried after a
 // transport error or 5xx response (default 2), and the initial backoff
-// delay, doubled per attempt (default 100ms). retries 0 disables
+// delay, doubled per retry cycle (default 100ms). retries 0 disables
 // retrying.
 func WithRetry(retries int, backoff time.Duration) Option {
-	return func(c *Client) { c.retries, c.backoff = retries, backoff }
+	return func(c *Config) {
+		if retries == 0 {
+			retries = -1 // Config's explicit "no retries"
+		}
+		c.Retry = Retry{Retries: retries, Backoff: backoff}
+	}
 }
 
-// New builds a client for the service at base (e.g.
-// "http://127.0.0.1:8080"; a trailing slash is tolerated).
+// WithHedge enables hedged requests: a second attempt races against
+// the next replica in ring order after the owner has been silent for
+// after. Meaningful only with multiple endpoints.
+func WithHedge(after time.Duration) Option {
+	return func(c *Config) { c.Hedge = Hedge{After: after} }
+}
+
+// New builds a client for the single service at base (e.g.
+// "http://127.0.0.1:8080"; a trailing slash is tolerated). It is the
+// compatibility constructor — New(base, opts...) is exactly
+// NewFromConfig(Config{Endpoints: []string{base}}) with opts applied;
+// new code with more than one endpoint should use NewFromConfig
+// directly (see DESIGN.md for the migration path).
 func New(base string, opts ...Option) *Client {
-	c := &Client{
-		base:    strings.TrimRight(base, "/"),
-		httpc:   http.DefaultClient,
-		retries: 2,
-		backoff: 100 * time.Millisecond,
-	}
+	cfg := Config{Endpoints: []string{base}}
 	for _, opt := range opts {
-		opt(c)
+		opt(&cfg)
+	}
+	c, err := NewFromConfig(cfg)
+	if err != nil {
+		// Unreachable: the one constructor error is "no endpoints" and
+		// base is always present (an unresolvable base fails per-call,
+		// as it always has).
+		panic(err)
 	}
 	return c
+}
+
+// NewFromConfig builds a client from an explicit Config. It errors
+// when no endpoint is configured; every other field defaults from its
+// zero value.
+func NewFromConfig(cfg Config) (*Client, error) {
+	eps := make([]string, 0, len(cfg.Endpoints))
+	seen := make(map[string]bool, len(cfg.Endpoints))
+	for _, ep := range cfg.Endpoints {
+		ep = cluster.Normalize(ep)
+		if ep != "" && !seen[ep] {
+			seen[ep] = true
+			eps = append(eps, ep)
+		}
+	}
+	if len(eps) == 0 {
+		return nil, errors.New("client: config names no endpoints")
+	}
+	r := cfg.Retry
+	if r.Retries == 0 {
+		r.Retries = 2
+	} else if r.Retries < 0 {
+		r.Retries = 0
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = 100 * time.Millisecond
+	}
+	httpc := cfg.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	return &Client{
+		httpc:     httpc,
+		retries:   r.Retries,
+		backoff:   r.Backoff,
+		hedge:     cfg.Hedge.After,
+		vnodes:    cfg.VNodes,
+		endpoints: eps,
+		ring:      cluster.NewRing(eps, cfg.VNodes),
+	}, nil
+}
+
+// Endpoints snapshots the client's current endpoint set (configured
+// order; updated by RefreshMembers).
+func (c *Client) Endpoints() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.endpoints...)
 }
 
 // ---------------------------------------------------------------------------
 // transport
 
-// do issues one call with retries. Every service call is idempotent
-// (solves are pure functions of their request; job submission is the
-// one exception the caller opts out of via retriable=false), so
-// transport errors and 5xx responses are retried with context-aware
-// exponential backoff. The response body is fully read and returned.
+// view snapshots the routing state.
+func (c *Client) view() ([]string, *cluster.Ring) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.endpoints, c.ring
+}
+
+// route orders the endpoints for one call. Body-bearing calls hash the
+// canonical body onto the ring — owner first, then its ring successors
+// as failover targets — so client-side routing and server-side cache
+// ownership agree by construction (both hash the same canonical
+// bytes). Bodiless calls (health, metrics) use the configured order.
+func (c *Client) route(body []byte) []string {
+	eps, ring := c.view()
+	if body == nil || len(eps) == 1 {
+		return eps
+	}
+	return ring.Successors(cluster.Key(body), len(eps))
+}
+
+// do issues one call with routing and retries. Every service call is
+// idempotent (solves are pure functions of their request; job
+// submission is the one exception the caller opts out of via
+// retriable=false), so transport errors and 5xx responses are retried:
+// the attempts rotate through the routed endpoints, with a
+// context-aware exponential backoff each time a full rotation fails.
+// The response body is fully read and returned.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, retriable bool) ([]byte, error) {
+	return c.doOrder(ctx, c.route(body), method, path, body, retriable)
+}
+
+// doOrder is do against an explicit endpoint order (job-pinned calls
+// pass exactly one endpoint).
+func (c *Client) doOrder(ctx context.Context, order []string, method, path string, body []byte, retriable bool) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		data, status, err := c.once(ctx, method, path, body)
+		var data []byte
+		var definitive, transient error
+		if attempt == 0 && retriable && c.hedge > 0 && len(order) > 1 {
+			data, definitive, transient = c.hedged(ctx, order, method, path, body)
+		} else {
+			data, definitive, transient = c.attempt(ctx, order[attempt%len(order)], method, path, body)
+		}
 		switch {
-		case err == nil && status/100 == 2:
+		case definitive == nil && transient == nil:
 			return data, nil
-		case err == nil && (status < 500 || status == http.StatusGatewayTimeout):
+		case definitive != nil:
 			// Typed failure: the request itself is wrong (or canceled
 			// server-side). Retrying cannot help.
-			return nil, c.errorFrom(path, status, data)
-		case err == nil:
-			lastErr = c.errorFrom(path, status, data)
-		default:
-			lastErr = fmt.Errorf("client: %s %s: %w", method, path, err)
+			return nil, definitive
 		}
+		lastErr = transient
 		if !retriable || attempt >= c.retries {
 			return nil, lastErr
 		}
-		if err := sleep(ctx, c.backoff<<attempt); err != nil {
-			return nil, fmt.Errorf("%w (last attempt: %w)", err, lastErr)
+		if (attempt+1)%len(order) == 0 {
+			// A full rotation failed; pause before going around again.
+			if err := sleep(ctx, c.backoff<<(attempt/len(order))); err != nil {
+				return nil, fmt.Errorf("%w (last attempt: %w)", err, lastErr)
+			}
 		}
 	}
 }
 
-// once is a single request/response cycle.
-func (c *Client) once(ctx context.Context, method, path string, body []byte) ([]byte, int, error) {
+// attempt is one request against one endpoint, its outcome split into
+// a definitive (typed, never retried) and a transient (retriable)
+// error.
+func (c *Client) attempt(ctx context.Context, ep, method, path string, body []byte) (data []byte, definitive, transient error) {
+	data, status, err := c.once(ctx, ep, method, path, body)
+	switch {
+	case err == nil && status/100 == 2:
+		return data, nil, nil
+	case err == nil && (status < 500 || status == http.StatusGatewayTimeout):
+		return nil, errorFrom(path, status, data), nil
+	case err == nil:
+		return nil, nil, errorFrom(path, status, data)
+	default:
+		return nil, nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+}
+
+// hedged races the key's owner against the next replica in ring
+// order: the fallback starts after c.hedge of owner silence, or
+// immediately when the owner fails. Typed failures count as answers
+// (both replicas would refuse the same request identically), only
+// transport/5xx outcomes trigger the hedge.
+func (c *Client) hedged(ctx context.Context, order []string, method, path string, body []byte) (data []byte, definitive, transient error) {
+	type answer struct {
+		data       []byte
+		definitive error
+	}
+	ask := func(ep string) func(context.Context) (answer, error) {
+		return func(ctx context.Context) (answer, error) {
+			data, definitive, transient := c.attempt(ctx, ep, method, path, body)
+			if transient != nil {
+				return answer{}, transient
+			}
+			return answer{data: data, definitive: definitive}, nil
+		}
+	}
+	out, _, err := cluster.Hedged(ctx, c.hedge, ask(order[0]), ask(order[1]))
+	if err != nil {
+		return nil, nil, err
+	}
+	return out.data, out.definitive, nil
+}
+
+// once is a single request/response cycle against one endpoint.
+func (c *Client) once(ctx context.Context, ep, method, path string, body []byte) ([]byte, int, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, ep+path, rd)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -149,7 +362,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte) ([]
 // errorFrom turns a non-2xx response into a typed error: the service's
 // wire.ErrorDoc reconstructs the engine sentinel its code names, so
 // errors.Is(err, engine.ErrInfeasible) works across the network.
-func (c *Client) errorFrom(path string, status int, data []byte) error {
+func errorFrom(path string, status int, data []byte) error {
 	var doc wire.ErrorDoc
 	if err := json.Unmarshal(data, &doc); err == nil && doc.Error != "" {
 		return doc.Err()
@@ -179,9 +392,9 @@ func errCanceled(ctxErr error) error {
 // synchronous calls
 
 // SolveRaw posts one request and returns the service's canonical plan
-// document bytes verbatim — byte-identical across identical requests
-// (and to a local wire encoding of the same plan), which the CLI's
-// -remote mode relies on.
+// document bytes verbatim — byte-identical across identical requests,
+// replicas, and a local wire encoding of the same plan, which the
+// CLI's -remote mode relies on.
 func (c *Client) SolveRaw(ctx context.Context, req Request) ([]byte, error) {
 	body, err := wire.EncodeRequest(req)
 	if err != nil {
@@ -240,7 +453,9 @@ func (c *Client) Batch(ctx context.Context, reqs []Request) ([]Plan, error) {
 	return resp.Plans, nil
 }
 
-// Healthz probes the service's liveness endpoint.
+// Healthz probes the service's liveness endpoint: nil when an endpoint
+// answered within the retry budget (attempts rotate through all
+// configured endpoints).
 func (c *Client) Healthz(ctx context.Context) error {
 	_, err := c.do(ctx, http.MethodGet, "/healthz", nil, true)
 	return err
@@ -250,8 +465,13 @@ func (c *Client) Healthz(ctx context.Context) error {
 // asynchronous jobs
 
 // Job is a handle on one asynchronous batch submitted to the service.
+// Jobs are stateful per replica — the handle is pinned to the endpoint
+// that accepted the submission, and every Status/Stream call sticks to
+// it (ring routing would scatter them across replicas that have never
+// heard of the id).
 type Job struct {
-	c *Client
+	c  *Client
+	ep string // owning endpoint; resolved by probing when reattached
 	// ID is the service-issued job id.
 	ID string
 	// Items is the number of requests in the job (0 when the handle was
@@ -274,13 +494,16 @@ func (s JobStatus) Done() bool { return s.Status != "running" }
 // Submit posts a batch to /v1/jobs and returns the job handle
 // immediately; the items solve in the background. Submission is the
 // one non-idempotent call (a retry could enqueue the work twice), so
-// transport errors surface to the caller instead of retrying.
+// it is neither retried nor hedged nor failed over — transport errors
+// surface to the caller. The returned handle is pinned to the replica
+// that accepted the job.
 func (c *Client) Submit(ctx context.Context, reqs []Request) (*Job, error) {
 	body, err := encodeBatch(reqs)
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding job: %w", err)
 	}
-	data, err := c.do(ctx, http.MethodPost, "/v1/jobs", body, false)
+	ep := c.route(body)[0]
+	data, err := c.doOrder(ctx, []string{ep}, http.MethodPost, "/v1/jobs", body, false)
 	if err != nil {
 		return nil, err
 	}
@@ -291,18 +514,53 @@ func (c *Client) Submit(ctx context.Context, reqs []Request) (*Job, error) {
 	if doc.Job == "" {
 		return nil, fmt.Errorf("%w: job submission response carries no id", wire.ErrMalformed)
 	}
-	return &Job{c: c, ID: doc.Job, Items: doc.Items}, nil
+	return &Job{c: c, ep: ep, ID: doc.Job, Items: doc.Items}, nil
 }
 
 // Job reattaches to a previously submitted job by id (e.g. after a
-// process restart); Status or Stream recover the item count.
+// process restart). The owning replica is unknown to a fresh handle;
+// the first Status or Stream call probes the endpoints until one
+// recognizes the id and pins the handle there.
 func (c *Client) Job(id string) *Job { return &Job{c: c, ID: id} }
 
-// Status fetches the job's progress.
+// resolve pins a reattached handle to the replica that owns its job,
+// probing each endpoint once. A typed refusal (unknown id) moves on to
+// the next endpoint; the last error surfaces when nobody owns the id.
+func (j *Job) resolve(ctx context.Context) ([]byte, error) {
+	if j.ep != "" {
+		return nil, nil
+	}
+	eps, _ := j.c.view()
+	var lastErr error
+	for _, ep := range eps {
+		data, definitive, transient := j.c.attempt(ctx, ep, http.MethodGet, "/v1/jobs/"+j.ID, nil)
+		if definitive == nil && transient == nil {
+			j.ep = ep
+			return data, nil
+		}
+		if definitive != nil {
+			lastErr = definitive
+		} else {
+			lastErr = transient
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("client: %w", errCanceled(err))
+		}
+	}
+	return nil, lastErr
+}
+
+// Status fetches the job's progress from its owning replica.
 func (j *Job) Status(ctx context.Context) (JobStatus, error) {
-	data, err := j.c.do(ctx, http.MethodGet, "/v1/jobs/"+j.ID, nil, true)
+	data, err := j.resolve(ctx)
 	if err != nil {
 		return JobStatus{}, err
+	}
+	if data == nil {
+		data, err = j.c.doOrder(ctx, []string{j.ep}, http.MethodGet, "/v1/jobs/"+j.ID, nil, true)
+		if err != nil {
+			return JobStatus{}, err
+		}
 	}
 	var doc JobStatus
 	if err := wire.Unmarshal(data, &doc, "job status"); err != nil {
@@ -323,11 +581,12 @@ type Item struct {
 
 // Stream attaches to the job's NDJSON stream at item index from and
 // returns an iterator over the remaining items in order. The iterator
-// transparently reconnects from its cursor when the connection drops
-// mid-batch (the service replays completed items from memory), up to
-// the client's retry budget per gap. Close the stream when done.
+// transparently reconnects to the job's owning replica from its cursor
+// when the connection drops mid-batch (the service replays completed
+// items from memory), up to the client's retry budget per gap. Close
+// the stream when done.
 func (j *Job) Stream(ctx context.Context, from int) (*Stream, error) {
-	if j.Items == 0 {
+	if j.Items == 0 || j.ep == "" {
 		if _, err := j.Status(ctx); err != nil {
 			return nil, err
 		}
@@ -349,12 +608,14 @@ type Stream struct {
 	sc   *bufio.Scanner
 }
 
-// connect (re)opens the NDJSON stream at the current cursor.
-// transient reports whether the failure is a transport error worth
-// retrying (a non-2xx response is a definitive, typed answer).
+// connect (re)opens the NDJSON stream at the current cursor, always
+// against the job's pinned replica — resuming elsewhere would miss the
+// owner's in-memory lines. transient reports whether the failure is a
+// transport error worth retrying (a non-2xx response is a definitive,
+// typed answer).
 func (s *Stream) connect() (transient bool, err error) {
 	req, err := http.NewRequestWithContext(s.ctx, http.MethodGet,
-		fmt.Sprintf("%s/v1/jobs/%s/stream?from=%d", s.job.c.base, s.job.ID, s.next), nil)
+		fmt.Sprintf("%s/v1/jobs/%s/stream?from=%d", s.job.ep, s.job.ID, s.next), nil)
 	if err != nil {
 		return false, err
 	}
@@ -365,7 +626,7 @@ func (s *Stream) connect() (transient bool, err error) {
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		return false, s.job.c.errorFrom("/v1/jobs/"+s.job.ID+"/stream", resp.StatusCode, data)
+		return false, errorFrom("/v1/jobs/"+s.job.ID+"/stream", resp.StatusCode, data)
 	}
 	s.body = resp.Body
 	s.sc = bufio.NewScanner(resp.Body)

@@ -1,4 +1,4 @@
-package client
+package client_test
 
 import (
 	"bytes"
@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/client"
 	"repro/internal/engine"
 	"repro/internal/platform"
 	"repro/internal/service"
@@ -22,12 +23,12 @@ func fig1() *platform.Instance {
 }
 
 // newService spins an in-process daemon and a client wired to it.
-func newService(t *testing.T) (*service.Server, *Client) {
+func newService(t *testing.T) (*service.Server, *client.Client) {
 	t.Helper()
 	srv := service.New(service.Config{Workers: 4})
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() { ts.Close(); srv.Close() })
-	return srv, New(ts.URL, WithRetry(2, time.Millisecond))
+	return srv, client.New(ts.URL, client.WithRetry(2, time.Millisecond))
 }
 
 func TestSolveMatchesLocalExecute(t *testing.T) {
@@ -85,7 +86,7 @@ func TestSentinelsCrossTheWire(t *testing.T) {
 
 func TestBatch(t *testing.T) {
 	_, c := newService(t)
-	var reqs []Request
+	var reqs []client.Request
 	for i := 0; i < 5; i++ {
 		ins := platform.MustInstance(6, []float64{5, 5, float64(i + 1)}, []float64{4, 1, 1})
 		reqs = append(reqs, engine.NewRequest(ins, engine.WithSolver("acyclic")))
@@ -107,7 +108,7 @@ func TestBatch(t *testing.T) {
 func TestJobSubmitStreamStatus(t *testing.T) {
 	_, c := newService(t)
 	ctx := context.Background()
-	var reqs []Request
+	var reqs []client.Request
 	for i := 0; i < 6; i++ {
 		ins := platform.MustInstance(6, []float64{5, 5, float64(i + 1)}, []float64{4, 1, 1})
 		reqs = append(reqs, engine.NewRequest(ins, engine.WithSolver("acyclic")))
@@ -166,7 +167,7 @@ func TestJobSubmitStreamStatus(t *testing.T) {
 func TestJobStreamCarriesItemErrors(t *testing.T) {
 	_, c := newService(t)
 	ctx := context.Background()
-	reqs := []Request{
+	reqs := []client.Request{
 		engine.NewRequest(fig1(), engine.WithSolver("acyclic")),
 		engine.NewRequest(fig1(), engine.WithSolver("acyclic-open")), // infeasible on guarded nodes
 	}
@@ -214,7 +215,7 @@ func TestRetryRidesThroughTransientFailures(t *testing.T) {
 	ts := httptest.NewServer(proxy)
 	t.Cleanup(func() { ts.Close(); srv.Close() })
 
-	c := New(ts.URL, WithRetry(3, time.Millisecond))
+	c := client.New(ts.URL, client.WithRetry(3, time.Millisecond))
 	plan, err := c.Solve(context.Background(), engine.NewRequest(fig1(), engine.WithSolver("acyclic")))
 	if err != nil {
 		t.Fatalf("solve through flaky proxy: %v", err)
@@ -232,7 +233,7 @@ func TestRetryGivesUpWithinBudget(t *testing.T) {
 		http.Error(w, "down", http.StatusServiceUnavailable)
 	}))
 	t.Cleanup(always.Close)
-	c := New(always.URL, WithRetry(1, time.Millisecond))
+	c := client.New(always.URL, client.WithRetry(1, time.Millisecond))
 	_, err := c.Solve(context.Background(), engine.NewRequest(fig1()))
 	if err == nil {
 		t.Fatal("solve against a dead service succeeded")
@@ -247,7 +248,7 @@ func TestTypedFailuresAreNotRetried(t *testing.T) {
 		srv.ServeHTTP(w, r)
 	}))
 	t.Cleanup(func() { counting.Close(); srv.Close() })
-	c := New(counting.URL, WithRetry(3, time.Millisecond))
+	c := client.New(counting.URL, client.WithRetry(3, time.Millisecond))
 	_, err := c.Solve(context.Background(), engine.NewRequest(fig1(), engine.WithSolver("nope")))
 	if !errors.Is(err, engine.ErrUnknownSolver) {
 		t.Fatal(err)
@@ -262,7 +263,7 @@ func TestContextCancelsBackoff(t *testing.T) {
 		http.Error(w, "down", http.StatusServiceUnavailable)
 	}))
 	t.Cleanup(always.Close)
-	c := New(always.URL, WithRetry(5, time.Hour)) // backoff would block for hours
+	c := client.New(always.URL, client.WithRetry(5, time.Hour)) // backoff would block for hours
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
 	start := time.Now()
@@ -285,7 +286,7 @@ func TestStreamDisconnectLeavesNoWorkspaceLeaked(t *testing.T) {
 	base := engine.LeasedWorkspaces()
 	_, c := newService(t)
 	ctx := context.Background()
-	var reqs []Request
+	var reqs []client.Request
 	for i := 0; i < 8; i++ {
 		ins := platform.MustInstance(6, []float64{5, 5, float64(i + 1)}, []float64{4, 1, 1})
 		reqs = append(reqs, engine.NewRequest(ins, engine.WithSolver("acyclic")))
@@ -354,7 +355,7 @@ func TestHealthz(t *testing.T) {
 	if err := c.Healthz(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	dead := New("http://127.0.0.1:1", WithRetry(0, time.Millisecond))
+	dead := client.New("http://127.0.0.1:1", client.WithRetry(0, time.Millisecond))
 	if err := dead.Healthz(context.Background()); err == nil {
 		t.Fatal("healthz against nothing succeeded")
 	}
@@ -364,7 +365,7 @@ func TestBaseURLTrailingSlash(t *testing.T) {
 	srv := service.New(service.Config{Workers: 2})
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() { ts.Close(); srv.Close() })
-	c := New(ts.URL + "/")
+	c := client.New(ts.URL + "/")
 	if err := c.Healthz(context.Background()); err != nil {
 		t.Fatal(err)
 	}

@@ -23,7 +23,8 @@ import (
 
 func cmdLoadgen(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
-	addr := fs.String("addr", "", "base URL of a running `bmpcast serve` (required)")
+	addr := fs.String("addr", "", "base URL(s) of running `bmpcast serve` replicas, comma-separated (required)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "client-side hedge budget across replicas (0 disables; needs ≥ 2 endpoints)")
 	rps := fs.Float64("rps", 50, "target sustained request rate")
 	duration := fs.Duration("duration", 10*time.Second, "load duration")
 	seed := fs.Int64("seed", 1, "trace RNG seed (same seed ⇒ byte-identical trace)")
@@ -65,7 +66,7 @@ func cmdLoadgen(args []string, stdout io.Writer) error {
 		return err
 	}
 	rep, err := runLoad(trace, loadParams{
-		Addr: *addr, RPS: *rps, Solver: *solverName, Conc: *conc,
+		Addr: *addr, Hedge: *hedgeAfter, RPS: *rps, Solver: *solverName, Conc: *conc,
 	})
 	if err != nil {
 		return err
@@ -80,7 +81,8 @@ func cmdLoadgen(args []string, stdout io.Writer) error {
 
 // loadParams carries the replay knobs into runLoad.
 type loadParams struct {
-	Addr   string
+	Addr   string // comma-separated replica endpoints
+	Hedge  time.Duration
 	RPS    float64
 	Solver string
 	Conc   int
@@ -124,7 +126,10 @@ func (r *loadReport) record(ep string, d time.Duration, err error) {
 // backpressure instead of hiding it behind an unbounded queue).
 func runLoad(trace *sim.LoadTrace, p loadParams) (*loadReport, error) {
 	ctx := context.Background()
-	c := client.New(p.Addr)
+	c, err := newSDKClient(p.Addr, p.Hedge)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
 	if err := c.Healthz(ctx); err != nil {
 		return nil, fmt.Errorf("loadgen: %s not healthy: %w", p.Addr, err)
 	}

@@ -29,19 +29,25 @@
 //	    churn-capable solver; output is byte-identical across runs
 //	    unless -timing is set.
 //
-//	bmpcast serve   [-addr :8080] [-workers 4] [-cache 1024]
+//	bmpcast serve   [-addr :8080] [-workers 4] [-cache 1024] [-self URL] [-peers url1,url2] [-hedge-after 150ms]
 //	    Run the broadcast-planning HTTP service: POST /v1/solve,
 //	    /v1/batch, /v1/jobs and /v1/session (wire-format Request/Plan
 //	    documents), GET /v1/jobs/{id} and /v1/jobs/{id}/stream (NDJSON
 //	    per-item plans), plus /healthz and /metrics. Identical requests
-//	    are answered from a content-addressed plan cache.
+//	    are answered from a content-addressed plan cache. With -self or
+//	    -peers the replica joins a sharded cluster: each request's cache
+//	    key is consistent-hashed onto the replica ring so every distinct
+//	    plan is solved once cluster-wide, peers back-fill each other's
+//	    caches, and slow owners are hedged locally after -hedge-after.
 //
-//	bmpcast loadgen -addr http://host:8080 [-rps 50] [-duration 10s] [-seed 1] [-pjob 0.15] [-format text|bench]
+//	bmpcast loadgen -addr http://h1:8080[,http://h2:8081,...] [-rps 50] [-duration 10s] [-seed 1] [-pjob 0.15] [-hedge-after 0] [-format text|bench]
 //	    Replay a seeded trace of mixed solve/job/stream traffic against
-//	    a live `bmpcast serve` at a target request rate, through the Go
-//	    SDK only, and report sustained RPS plus p50/p95/p99 latency per
-//	    endpoint. -format bench emits go-bench-style lines that
-//	    cmd/benchjson converts and gates.
+//	    one or more live `bmpcast serve` replicas at a target request
+//	    rate, through the Go SDK only, and report sustained RPS plus
+//	    p50/p95/p99 latency per endpoint. Several -addr endpoints get
+//	    ring-aware routing (same hash as the server cluster);
+//	    -hedge-after arms client-side request hedging. -format bench
+//	    emits go-bench-style lines that cmd/benchjson converts and gates.
 //
 //	bmpcast demo fig1|fig6|57|sqrt41
 //	    Walk through the paper's showcase instances.
@@ -50,8 +56,10 @@
 // document instead of the human-readable text, and -remote <url> to
 // route the work through a running daemon via the Go SDK (repro/client)
 // — solve as one round trip, sweep as an async job consumed from the
-// NDJSON stream. Remote output is byte-identical to the local -wire
-// output for the same flags.
+// NDJSON stream. -remote accepts a comma-separated endpoint list and
+// then routes by the request's ring position, exactly like the SDK's
+// multi-endpoint Config. Remote output is byte-identical to the local
+// -wire output for the same flags.
 //
 // sweep and sim take -cpuprofile/-memprofile to write pprof CPU and
 // allocs profiles of the run, making the hot-path profiles committed
@@ -138,9 +146,30 @@ func usage(w io.Writer) {
   generate -dist <Unif100|Power1|Power2|LN1|LN2|PLab> -n <nodes> -p <openprob> [-seed N]
   simulate -file inst.json [-packets 300] [-seed 1]
   sim      [-seed N] [-events 30] [-n 20] [-p 0.7] [-dist Unif100] [-solvers acyclic|all|a,b,c] [-format json|csv] [-timing] [-norepair] [-cpuprofile f] [-memprofile f]
-  serve    [-addr :8080] [-workers 4] [-cache 1024]
-  loadgen  -addr http://host:8080 [-rps 50] [-duration 10s] [-seed N] [-n 24] [-p 0.7] [-dist Unif100] [-solver acyclic] [-pjob 0.15] [-jobbatch 4] [-conc 64] [-format text|bench]
+  serve    [-addr :8080] [-workers 4] [-cache 1024] [-self URL] [-peers url1,url2] [-hedge-after 150ms]
+  loadgen  -addr url1[,url2,...] [-rps 50] [-duration 10s] [-seed N] [-n 24] [-p 0.7] [-dist Unif100] [-solver acyclic] [-pjob 0.15] [-jobbatch 4] [-conc 64] [-hedge-after 0] [-format text|bench]
   demo     fig1|fig6|57|sqrt41`)
+}
+
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// newSDKClient builds an SDK client from a comma-separated endpoint
+// list: one endpoint behaves exactly like the classic single-URL
+// client, several front a replica cluster with ring-aware routing.
+func newSDKClient(addrs string, hedge time.Duration) (*client.Client, error) {
+	return client.NewFromConfig(client.Config{
+		Endpoints: splitList(addrs),
+		Hedge:     client.Hedge{After: hedge},
+	})
 }
 
 func loadInstance(path string) (*platform.Instance, error) {
@@ -222,7 +251,10 @@ func solveWire(out io.Writer, ins *platform.Instance, solverName string) error {
 // attach-if-acyclic behavior.
 func solveWireRemote(out io.Writer, ins *platform.Instance, solverName, url string) error {
 	ctx := context.Background()
-	c := client.New(url)
+	c, err := newSDKClient(url, 0)
+	if err != nil {
+		return err
+	}
 	raw, err := c.SolveRaw(ctx, engine.NewRequest(ins,
 		engine.WithSolver(solverName), engine.WithTolerance(1e-9), engine.WithTrees()))
 	if errors.Is(err, engine.ErrInfeasible) {
@@ -434,7 +466,10 @@ func sweepRemote(out io.Writer, instances []*platform.Instance, p sweepParams, u
 		reqs[i] = engine.NewRequest(ins, engine.WithSolver(p.Solver))
 	}
 	start := time.Now()
-	c := client.New(url)
+	c, err := newSDKClient(url, 0)
+	if err != nil {
+		return err
+	}
 	job, err := c.Submit(ctx, reqs)
 	if err != nil {
 		return err

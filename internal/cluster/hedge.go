@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Hedged races a primary call against a fallback that starts once the
+// primary has been silent for `after` (or immediately when the primary
+// fails). The first success wins; fromFallback reports which path
+// answered. When both fail, the errors are joined. after ≤ 0 disables
+// the latency hedge — the fallback then only runs after a primary
+// error (pure failover).
+//
+// Concurrency contract: Hedged never leaks a goroutine past its
+// return. Both calls receive contexts canceled on return, and their
+// results land in buffered channels, so a losing call finishes its
+// (canceled) work in the background without anyone waiting on it. The
+// caller's ctx cancels everything.
+func Hedged[T any](ctx context.Context, after time.Duration,
+	primary, fallback func(context.Context) (T, error)) (out T, fromFallback bool, err error) {
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		val T
+		err error
+	}
+	primCh := make(chan result, 1)
+	fbCh := make(chan result, 1)
+	go func() {
+		v, e := primary(ctx)
+		primCh <- result{v, e}
+	}()
+
+	var timer <-chan time.Time
+	if after > 0 {
+		t := time.NewTimer(after)
+		defer t.Stop()
+		timer = t.C
+	}
+
+	fbStarted := false
+	startFallback := func() {
+		if fbStarted {
+			return
+		}
+		fbStarted = true
+		go func() {
+			v, e := fallback(ctx)
+			fbCh <- result{v, e}
+		}()
+	}
+
+	var primErr, fbErr error
+	primDone, fbDone := false, false
+	for {
+		select {
+		case r := <-primCh:
+			if r.err == nil {
+				return r.val, false, nil
+			}
+			primDone, primErr = true, r.err
+			if ctx.Err() != nil && !fbStarted {
+				// The caller is gone; starting new work is pointless.
+				return out, false, primErr
+			}
+			startFallback()
+		case r := <-fbCh:
+			if r.err == nil {
+				return r.val, true, nil
+			}
+			fbDone, fbErr = true, r.err
+		case <-timer:
+			timer = nil
+			startFallback()
+		case <-ctx.Done():
+			return out, false, ctx.Err()
+		}
+		if primDone && (fbDone || !fbStarted) {
+			if fbErr != nil {
+				return out, false, errors.Join(primErr, fbErr)
+			}
+			return out, false, primErr
+		}
+		if fbDone && primDone {
+			return out, false, errors.Join(primErr, fbErr)
+		}
+	}
+}

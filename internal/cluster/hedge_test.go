@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHedgedPrimaryFastPath(t *testing.T) {
+	var fallbackRan atomic.Bool
+	out, fromFB, err := Hedged(context.Background(), time.Second,
+		func(context.Context) (string, error) { return "primary", nil },
+		func(context.Context) (string, error) { fallbackRan.Store(true); return "fallback", nil })
+	if err != nil || fromFB || out != "primary" {
+		t.Fatalf("out=%q fromFB=%v err=%v", out, fromFB, err)
+	}
+	if fallbackRan.Load() {
+		t.Fatal("fallback ran although the primary answered instantly")
+	}
+}
+
+func TestHedgedSlowPrimaryLosesToFallback(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	out, fromFB, err := Hedged(context.Background(), 5*time.Millisecond,
+		func(ctx context.Context) (string, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return "primary", ctx.Err()
+		},
+		func(context.Context) (string, error) { return "fallback", nil })
+	if err != nil || !fromFB || out != "fallback" {
+		t.Fatalf("out=%q fromFB=%v err=%v", out, fromFB, err)
+	}
+}
+
+func TestHedgedPrimaryErrorStartsFallbackImmediately(t *testing.T) {
+	start := time.Now()
+	out, fromFB, err := Hedged(context.Background(), time.Hour, // hedge timer would never fire
+		func(context.Context) (string, error) { return "", errors.New("owner down") },
+		func(context.Context) (string, error) { return "fallback", nil })
+	if err != nil || !fromFB || out != "fallback" {
+		t.Fatalf("out=%q fromFB=%v err=%v", out, fromFB, err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("fallback waited for the hedge timer after a primary error")
+	}
+}
+
+func TestHedgedFallbackErrorWaitsForPrimary(t *testing.T) {
+	out, fromFB, err := Hedged(context.Background(), time.Millisecond,
+		func(ctx context.Context) (string, error) {
+			time.Sleep(20 * time.Millisecond)
+			return "primary", nil
+		},
+		func(context.Context) (string, error) { return "", errors.New("no capacity") })
+	if err != nil || fromFB || out != "primary" {
+		t.Fatalf("out=%q fromFB=%v err=%v", out, fromFB, err)
+	}
+}
+
+func TestHedgedBothFailJoinsErrors(t *testing.T) {
+	e1, e2 := errors.New("primary boom"), errors.New("fallback boom")
+	_, _, err := Hedged(context.Background(), time.Millisecond,
+		func(context.Context) (string, error) { return "", e1 },
+		func(context.Context) (string, error) { return "", e2 })
+	if !errors.Is(err, e1) || !errors.Is(err, e2) {
+		t.Fatalf("err = %v, want both causes joined", err)
+	}
+}
+
+func TestHedgedZeroAfterIsPureFailover(t *testing.T) {
+	var fallbackRan atomic.Bool
+	out, fromFB, err := Hedged(context.Background(), 0,
+		func(ctx context.Context) (string, error) {
+			time.Sleep(10 * time.Millisecond) // silence would trip a timer hedge
+			return "primary", nil
+		},
+		func(context.Context) (string, error) { fallbackRan.Store(true); return "fallback", nil })
+	if err != nil || fromFB || out != "primary" || fallbackRan.Load() {
+		t.Fatalf("out=%q fromFB=%v err=%v fallbackRan=%v", out, fromFB, err, fallbackRan.Load())
+	}
+}
+
+func TestHedgedCancellation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, _, err := Hedged(ctx, time.Hour,
+		func(ctx context.Context) (string, error) { <-ctx.Done(); return "", ctx.Err() },
+		func(ctx context.Context) (string, error) { <-ctx.Done(); return "", ctx.Err() })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestHedgedLeavesNoGoroutines pins the leak contract: a slow loser
+// whose context is canceled on return must unwind promptly.
+func TestHedgedLeavesNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		_, _, err := Hedged(context.Background(), time.Millisecond,
+			func(ctx context.Context) (string, error) {
+				<-ctx.Done() // hangs until Hedged's deferred cancel
+				return "", ctx.Err()
+			},
+			func(context.Context) (string, error) { return "fallback", nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d > baseline %d after 50 hedged calls", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

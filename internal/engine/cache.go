@@ -197,18 +197,23 @@ func (c *Cache) run(ctx context.Context, r *Registry, req Request, render Render
 	for {
 		c.mu.Lock()
 		if el, ok := c.entries[k]; ok {
-			c.lru.MoveToFront(el)
 			e := el.Value.(*cacheEntry)
-			plan, rendered := e.plan, e.rendered
-			c.mu.Unlock()
-			c.hits.Add(1)
-			if render != nil && rendered == nil {
-				// Plan cached by an unrendered caller: render once and
-				// remember the bytes for the next byte-level hit.
-				plan, rendered, err = c.attachRendering(k, plan, render)
-				return plan, rendered, true, err
+			if e.plan != nil || render != nil {
+				c.lru.MoveToFront(el)
+				plan, rendered := e.plan, e.rendered
+				c.mu.Unlock()
+				c.hits.Add(1)
+				if render != nil && rendered == nil {
+					// Plan cached by an unrendered caller: render once and
+					// remember the bytes for the next byte-level hit.
+					plan, rendered, err = c.attachRendering(k, plan, render)
+					return plan, rendered, true, err
+				}
+				return plan, rendered, true, nil
 			}
-			return plan, rendered, true, nil
+			// Fill-only entry (PutRendered stored document bytes without a
+			// decoded plan) but this caller needs the *Plan: fall through
+			// to solve; insertLocked merges, keeping the rendered bytes.
 		}
 		if f, ok := c.inflight[k]; ok {
 			c.mu.Unlock()
@@ -295,10 +300,45 @@ func (c *Cache) insertLocked(k [sha256.Size]byte, plan *Plan, rendered []byte) {
 		return
 	}
 	c.entries[k] = c.lru.PushFront(&cacheEntry{key: k, plan: plan, rendered: rendered})
+	c.evictLocked()
+}
+
+// evictLocked enforces the LRU bound. Callers hold c.mu.
+func (c *Cache) evictLocked() {
 	for c.lru.Len() > c.max {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
 		c.evictions.Add(1)
 	}
+}
+
+// PutRendered stores a pre-rendered canonical plan document under the
+// request's content address without running a solve — the cluster's
+// peer back-fill path: a replica that solved a plan it does not own
+// pushes the document to the owner so the next lookup there hits. The
+// bytes must be the canonical rendering the cache's RenderFunc would
+// have produced (the wire encoding is canonical, so any replica's
+// rendering is THE rendering). Existing entries keep their first
+// rendering; fills count toward neither Hits nor Misses. It reports
+// whether the document was stored (an unencodable request cannot be
+// addressed).
+func (c *Cache) PutRendered(req Request, rendered []byte) bool {
+	k, err := c.keyOf(req)
+	if err != nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		e := el.Value.(*cacheEntry)
+		if e.rendered == nil {
+			e.rendered = rendered
+		}
+		c.lru.MoveToFront(el)
+		return true
+	}
+	c.entries[k] = c.lru.PushFront(&cacheEntry{key: k, rendered: rendered})
+	c.evictLocked()
+	return true
 }

@@ -312,3 +312,58 @@ func TestCacheContains(t *testing.T) {
 		t.Errorf("Contains must not count as a hit: %+v", st)
 	}
 }
+
+// TestCachePutRenderedServesByteHits pins the cluster back-fill path:
+// a pre-rendered document stored with PutRendered answers the rendered
+// execute path without ever running the solver, and a later plan-path
+// caller solves once and merges into the same entry.
+func TestCachePutRenderedServesByteHits(t *testing.T) {
+	var calls atomic.Int64
+	r := countingRegistry(t, &calls)
+	c := NewCache(8, testKeyFunc)
+	req := NewRequest(cacheFig1(), WithSolver("acyclic"))
+	render := func(p *Plan) ([]byte, error) {
+		return []byte(fmt.Sprintf("plan:%.6f", p.Throughput)), nil
+	}
+
+	doc := []byte("plan:filled-by-peer")
+	if !c.PutRendered(req, doc) {
+		t.Fatal("PutRendered refused an encodable request")
+	}
+	out, hit, err := c.ExecuteRendered(context.Background(), r, req, render)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || !bytes.Equal(out, doc) {
+		t.Fatalf("hit=%v out=%q, want the filled document", hit, out)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("solver ran %d times answering a filled entry", calls.Load())
+	}
+
+	// A plan-path caller needs the *Plan the fill does not carry: it
+	// solves once and the entry keeps serving the original rendering.
+	plan, err := c.execute(context.Background(), r, req)
+	if err != nil || plan == nil {
+		t.Fatalf("plan=%v err=%v", plan, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("solver ran %d times for the plan path, want exactly 1", calls.Load())
+	}
+	out2, hit2, err := c.ExecuteRendered(context.Background(), r, req, render)
+	if err != nil || !hit2 || !bytes.Equal(out2, doc) {
+		t.Fatalf("after merge: hit=%v out=%q err=%v (first rendering must win)", hit2, out2, err)
+	}
+	if got := c.Stats().Entries; got != 1 {
+		t.Fatalf("entries = %d, want 1 (fill and solve share one entry)", got)
+	}
+
+	// Filling an existing entry never clobbers its rendering.
+	if !c.PutRendered(req, []byte("plan:other")) {
+		t.Fatal("PutRendered on existing entry")
+	}
+	out3, _, err := c.ExecuteRendered(context.Background(), r, req, render)
+	if err != nil || !bytes.Equal(out3, doc) {
+		t.Fatalf("refill clobbered the stored rendering: %q", out3)
+	}
+}

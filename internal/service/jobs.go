@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/wire"
 )
@@ -143,8 +144,15 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.nextJobID++
+	id := fmt.Sprintf("j%d", s.nextJobID)
+	if s.clustered() {
+		// Namespace ids per replica: jobs are replica-local state, and a
+		// client probing the cluster for "j3" must never get a false
+		// positive from a replica that happens to run its own third job.
+		id = fmt.Sprintf("j%d-%s", s.nextJobID, cluster.ShortID(s.cfg.Self))
+	}
 	j := &job{
-		id:     fmt.Sprintf("j%d", s.nextJobID),
+		id:     id,
 		lines:  make([][]byte, len(reqs)),
 		status: jobRunning,
 		update: make(chan struct{}),

@@ -53,7 +53,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/client"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/platform"
@@ -77,6 +80,23 @@ type Config struct {
 	// stream reads (oldest finished evicted first; running jobs are
 	// never evicted). ≤ 0 means 64.
 	MaxJobs int
+	// Self is this replica's advertised base URL (e.g.
+	// "http://10.0.0.1:8080"). Non-empty Self enables the cluster layer:
+	// solves route by ring ownership and /v1/cluster/* membership
+	// endpoints activate. Empty means standalone.
+	Self string
+	// Peers seeds the membership ring (additional replicas beyond
+	// Self); Server.JoinCluster announces this replica to them.
+	Peers []string
+	// HedgeAfter is how long a forwarded solve waits on the key's owner
+	// before racing a local solve against it. 0 means DefaultHedgeAfter;
+	// negative disables the timer (the local fallback then runs only
+	// when the owner fails outright).
+	HedgeAfter time.Duration
+	// VNodes overrides the ring's virtual-node count (0 means
+	// cluster.DefaultVNodes). All replicas and cluster-aware clients
+	// must agree on it.
+	VNodes int
 }
 
 // Server is the broadcast-planning HTTP service. Create with New; it
@@ -88,6 +108,17 @@ type Server struct {
 	mux   *http.ServeMux
 	cache *engine.Cache // nil when disabled
 	front *frontCache   // raw-body → response-bytes memo; nil when cache disabled
+	node  *cluster.Node // nil when standalone
+
+	peerMu sync.Mutex
+	peers  map[string]*client.Client // lazily built per-member SDK clients
+
+	forwardsN     atomic.Int64 // solves routed to a peer owner
+	hedgesN       atomic.Int64 // local fallbacks launched
+	fallbackWinsN atomic.Int64 // forwarded solves answered locally
+	fillsSentN    atomic.Int64 // back-fills delivered to owners
+	fillsRecvN    atomic.Int64 // back-fills stored in our cache
+	peerErrsN     atomic.Int64 // failed peer calls (any kind)
 
 	jobsCtx    context.Context // canceled by Close; parents all job solves
 	jobsCancel context.CancelFunc
@@ -126,13 +157,21 @@ func New(cfg Config) *Server {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 64
 	}
+	cfg.Self = cluster.Normalize(cfg.Self)
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = DefaultHedgeAfter
+	}
 	s := &Server{
 		cfg:      cfg,
 		gate:     make(chan struct{}, cfg.Workers),
 		mux:      http.NewServeMux(),
 		sessions: make(map[string]*session),
 		jobs:     make(map[string]*job),
+		peers:    make(map[string]*client.Client),
 		requests: make(map[string]*atomic.Int64),
+	}
+	if cfg.Self != "" {
+		s.node = cluster.NewNode(cfg.Self, cfg.Peers, cfg.VNodes)
 	}
 	if cfg.CacheSize >= 0 {
 		s.cache = engine.NewCache(cfg.CacheSize, wire.EncodeRequest)
@@ -143,7 +182,10 @@ func New(cfg Config) *Server {
 		s.front = newFrontCache(size)
 	}
 	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
-	for _, ep := range []string{"solve", "batch", "jobs", "jobstream", "session", "healthz", "metrics"} {
+	for _, ep := range []string{
+		"solve", "batch", "jobs", "jobstream", "session", "healthz", "metrics",
+		"clustersolve", "clusterfill", "clustermembers", "clusterjoin", "clusterleave",
+	} {
 		s.requests[ep] = new(atomic.Int64)
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
@@ -152,6 +194,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
 	s.mux.HandleFunc("POST /v1/session", s.handleSession)
+	s.mux.HandleFunc("POST /v1/cluster/solve", s.handleClusterSolve)
+	s.mux.HandleFunc("POST /v1/cluster/fill", s.handleClusterFill)
+	s.mux.HandleFunc("GET /v1/cluster/members", s.handleClusterMembers)
+	s.mux.HandleFunc("POST /v1/cluster/join", s.handleClusterJoin)
+	s.mux.HandleFunc("POST /v1/cluster/leave", s.handleClusterLeave)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -198,32 +245,24 @@ func (s *Server) OpenSessions() int {
 }
 
 // acquire takes a worker permit, honoring request cancellation.
-func (s *Server) acquire(r *http.Request) error {
+func (s *Server) acquire(r *http.Request) error { return s.acquireCtx(r.Context()) }
+
+// acquireCtx takes a worker permit, honoring context cancellation.
+func (s *Server) acquireCtx(ctx context.Context) error {
 	select {
 	case s.gate <- struct{}{}:
 		return nil
-	case <-r.Context().Done():
-		return r.Context().Err()
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
 func (s *Server) release() { <-s.gate }
 
-// statusFor maps decode and engine errors to HTTP status codes.
-func statusFor(err error) int {
-	switch {
-	case errors.Is(err, wire.ErrVersion), errors.Is(err, wire.ErrMalformed):
-		return http.StatusBadRequest
-	case errors.Is(err, engine.ErrUnknownSolver):
-		return http.StatusBadRequest
-	case errors.Is(err, engine.ErrInfeasible):
-		return http.StatusUnprocessableEntity
-	case errors.Is(err, engine.ErrCanceled):
-		return http.StatusGatewayTimeout
-	default:
-		return http.StatusInternalServerError
-	}
-}
+// statusFor maps decode and engine errors to HTTP status codes via the
+// wire codec's exported code table — the same table the client SDK
+// reconstructs sentinels from, so service, peers and SDK cannot drift.
+func statusFor(err error) int { return wire.StatusFor(err) }
 
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	s.errorsN.Add(1)
@@ -262,6 +301,14 @@ func (s *Server) track(ep string) func() {
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	defer s.track("solve")()
+	s.serveSolve(w, r, true)
+}
+
+// serveSolve answers one solve. forwardable distinguishes the public
+// /v1/solve (clustered replicas route it by ring ownership) from the
+// peer-to-peer /v1/cluster/solve (always answered locally, so two
+// replicas can never chase a key in a loop).
+func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, forwardable bool) {
 	body, err := s.readBody(w, r)
 	if err != nil {
 		s.fail(w, err)
@@ -270,7 +317,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// Byte-level fast path: a body-identical resubmission is answered
 	// from the stored response without decoding, canonicalizing or
 	// consuming a worker slot — the solve it memoizes already went
-	// through the gate and the plan cache.
+	// through the gate and the plan cache (possibly on a peer).
 	var bodyKey [sha256.Size]byte
 	if s.front != nil {
 		bodyKey = sha256.Sum256(body)
@@ -285,6 +332,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.fail(w, err)
 		return
+	}
+	if forwardable && s.clustered() {
+		out, forwarded, err := s.maybeForward(r, req)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		if forwarded {
+			if s.front != nil {
+				s.front.put(bodyKey, out)
+			}
+			w.Header().Set("X-Bmpcast-Cache", "forward")
+			s.reply(w, out)
+			return
+		}
 	}
 	if err := s.acquire(r); err != nil {
 		s.fail(w, engineCanceled(err))
@@ -651,6 +713,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	submitted, running := s.jobCounts()
 	fmt.Fprintf(w, "bmpcast_jobs_total %d\n", submitted)
 	fmt.Fprintf(w, "bmpcast_jobs_running %d\n", running)
+	if s.clustered() {
+		fmt.Fprintf(w, "bmpcast_cluster_members %d\n", len(s.node.Members()))
+		fmt.Fprintf(w, "bmpcast_cluster_ring_version %d\n", s.node.Version())
+		fmt.Fprintf(w, "bmpcast_cluster_forwards_total %d\n", s.forwardsN.Load())
+		fmt.Fprintf(w, "bmpcast_cluster_hedges_total %d\n", s.hedgesN.Load())
+		fmt.Fprintf(w, "bmpcast_cluster_local_fallbacks_total %d\n", s.fallbackWinsN.Load())
+		fmt.Fprintf(w, "bmpcast_cluster_fills_sent_total %d\n", s.fillsSentN.Load())
+		fmt.Fprintf(w, "bmpcast_cluster_fills_received_total %d\n", s.fillsRecvN.Load())
+		fmt.Fprintf(w, "bmpcast_cluster_peer_errors_total %d\n", s.peerErrsN.Load())
+	}
+}
+
+// CacheStats snapshots the plan cache's counters (zero when caching is
+// disabled) — the cluster tests prove "solved once cluster-wide" by
+// summing Misses across replicas.
+func (s *Server) CacheStats() engine.CacheStats {
+	if s.cache == nil {
+		return engine.CacheStats{}
+	}
+	return s.cache.Stats()
 }
 
 // ---------------------------------------------------------------------------

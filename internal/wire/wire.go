@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http"
 	"time"
 
 	"repro/internal/core"
@@ -379,18 +380,58 @@ const (
 	CodeInternal      = "internal"       // anything else
 )
 
-// codeSentinels orders the code↔sentinel mapping; first match wins on
-// encode (decode errors shadow engine errors, mirroring statusFor in
-// the service).
-var codeSentinels = []struct {
-	code     string
-	sentinel error
-}{
-	{CodeVersion, ErrVersion},
-	{CodeMalformed, ErrMalformed},
-	{CodeUnknownSolver, engine.ErrUnknownSolver},
-	{CodeInfeasible, engine.ErrInfeasible},
-	{CodeCanceled, engine.ErrCanceled},
+// CodeMapping binds one wire error code to the typed sentinel it
+// names and the HTTP status the service answers it with. The exported
+// table (CodeMappings) is the single source of truth for the code ↔
+// sentinel ↔ status relation: the service derives response statuses
+// from it, peers and the gateway classify forwarded failures with it,
+// and the client SDK reconstructs sentinels from it — so the three
+// layers can never drift apart.
+type CodeMapping struct {
+	// Code is the machine-readable error code carried on the wire.
+	Code string
+	// Sentinel is the typed error the code names (errors.Is target).
+	Sentinel error
+	// HTTPStatus is the response status the service maps the sentinel
+	// to.
+	HTTPStatus int
+}
+
+// codeTable orders the mapping; first match wins on encode (decode
+// errors shadow engine errors — a malformed document is the caller's
+// fault even if the message also mentions an engine condition).
+var codeTable = []CodeMapping{
+	{CodeVersion, ErrVersion, http.StatusBadRequest},
+	{CodeMalformed, ErrMalformed, http.StatusBadRequest},
+	{CodeUnknownSolver, engine.ErrUnknownSolver, http.StatusBadRequest},
+	{CodeInfeasible, engine.ErrInfeasible, http.StatusUnprocessableEntity},
+	{CodeCanceled, engine.ErrCanceled, http.StatusGatewayTimeout},
+}
+
+// CodeMappings returns the code ↔ sentinel ↔ HTTP-status table in
+// match order (shared slice — do not mutate).
+func CodeMappings() []CodeMapping { return codeTable }
+
+// CodeFor classifies an error into its wire code (CodeInternal when no
+// sentinel matches).
+func CodeFor(err error) string {
+	for _, m := range codeTable {
+		if errors.Is(err, m.Sentinel) {
+			return m.Code
+		}
+	}
+	return CodeInternal
+}
+
+// StatusFor maps an error to the HTTP status the service answers it
+// with (500 when no sentinel matches).
+func StatusFor(err error) int {
+	for _, m := range codeTable {
+		if errors.Is(err, m.Sentinel) {
+			return m.HTTPStatus
+		}
+	}
+	return http.StatusInternalServerError
 }
 
 // ErrorDoc is the wire form of a failed request: {"v":1, "code":...,
@@ -406,14 +447,7 @@ type ErrorDoc struct {
 
 // NewErrorDoc classifies err into its wire form.
 func NewErrorDoc(err error) ErrorDoc {
-	doc := ErrorDoc{V: Version, Code: CodeInternal, Error: err.Error()}
-	for _, cs := range codeSentinels {
-		if errors.Is(err, cs.sentinel) {
-			doc.Code = cs.code
-			break
-		}
-	}
-	return doc
+	return ErrorDoc{V: Version, Code: CodeFor(err), Error: err.Error()}
 }
 
 // remoteError is a reconstructed service failure: the server's message
@@ -435,9 +469,9 @@ func (d ErrorDoc) Err() error {
 	if msg == "" {
 		msg = "wire: service reported an unspecified error"
 	}
-	for _, cs := range codeSentinels {
-		if cs.code == d.Code {
-			return &remoteError{sentinel: cs.sentinel, msg: msg}
+	for _, m := range codeTable {
+		if m.Code == d.Code {
+			return &remoteError{sentinel: m.Sentinel, msg: msg}
 		}
 	}
 	return errors.New(msg)

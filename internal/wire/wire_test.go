@@ -6,6 +6,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"testing"
@@ -378,4 +379,43 @@ func FuzzDecodeTimeline(f *testing.F) {
 			t.Fatalf("accepted timeline fails to encode: %v", err)
 		}
 	})
+}
+
+// TestCodeTableSingleSourceOfTruth pins the exported code ↔ sentinel ↔
+// status table: every code round-trips through ErrorDoc back to an
+// errors.Is-able sentinel, and StatusFor/CodeFor agree with the table
+// the service and SDK both consume.
+func TestCodeTableSingleSourceOfTruth(t *testing.T) {
+	mappings := CodeMappings()
+	if len(mappings) != 5 {
+		t.Fatalf("table has %d mappings, want 5", len(mappings))
+	}
+	for _, m := range mappings {
+		wrapped := fmt.Errorf("context: %w", m.Sentinel)
+		if got := CodeFor(wrapped); got != m.Code {
+			t.Errorf("CodeFor(%v) = %q, want %q", m.Sentinel, got, m.Code)
+		}
+		if got := StatusFor(wrapped); got != m.HTTPStatus {
+			t.Errorf("StatusFor(%v) = %d, want %d", m.Sentinel, got, m.HTTPStatus)
+		}
+		doc := NewErrorDoc(wrapped)
+		if doc.Code != m.Code {
+			t.Errorf("NewErrorDoc(%v).Code = %q, want %q", m.Sentinel, doc.Code, m.Code)
+		}
+		if !errors.Is(doc.Err(), m.Sentinel) {
+			t.Errorf("doc.Err() for code %q does not match its sentinel", m.Code)
+		}
+	}
+	if got := CodeFor(errors.New("anything else")); got != CodeInternal {
+		t.Errorf("CodeFor(unknown) = %q, want %q", got, CodeInternal)
+	}
+	if got := StatusFor(errors.New("anything else")); got != http.StatusInternalServerError {
+		t.Errorf("StatusFor(unknown) = %d, want 500", got)
+	}
+	// Decode errors shadow engine errors: a malformed doc that also
+	// wraps an engine sentinel still reports the caller's fault.
+	both := fmt.Errorf("%w: while handling %w", ErrMalformed, engine.ErrInfeasible)
+	if CodeFor(both) != CodeMalformed || StatusFor(both) != http.StatusBadRequest {
+		t.Errorf("shadowing broken: code=%q status=%d", CodeFor(both), StatusFor(both))
+	}
 }
