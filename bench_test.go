@@ -40,6 +40,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/generator"
 	"repro/internal/massoulie"
+	"repro/internal/planstore"
 	"repro/internal/schedule"
 	"repro/internal/service"
 	"repro/internal/sim"
@@ -574,23 +575,28 @@ func BenchmarkServiceSolve(b *testing.B) {
 }
 
 // BenchmarkServiceSolveCached isolates what the content-addressed plan
-// cache buys on a non-trivial instance (200 nodes, ≈1.7ms solve). Both
-// sub-benchmarks drive the service handler directly (no TCP, no HTTP
-// client) so the delta is decode → [solve vs. cache hit] → encode:
+// cache buys on a non-trivial instance (200 nodes, ≈1ms solve). Both
+// sub-benchmarks drive the same default-cache service handler directly
+// (no TCP, no HTTP client), so the delta is what separates a miss from
+// a hit on one config:
 //
-//	cold — caching disabled, every request re-solves;
-//	hot  — default cache, every request after the first is a hit.
+//	cold — every iteration posts a distinct mutant body (one open
+//	       bandwidth rescaled per iteration), so every request runs
+//	       the full miss path: decode, canonical-key encode, solve,
+//	       cache insert, response encode;
+//	hot  — every iteration reposts one body, so every request after
+//	       the priming call is answered from the cache.
 //
 // The acceptance bar for the cache layer is hot ≥ 10× faster than
 // cold. Gated in CI via BENCH_baseline.json.
 func BenchmarkServiceSolveCached(b *testing.B) {
-	req := repro.NewRequest(randomMixed(1, 120, 80),
-		repro.WithSolver("acyclic"), repro.WithTolerance(1e-9))
-	body, err := wire.EncodeRequest(req)
+	base := randomMixed(1, 120, 80)
+	baseReq := repro.NewRequest(base, repro.WithSolver("acyclic"), repro.WithTolerance(1e-9))
+	baseBody, err := wire.EncodeRequest(baseReq)
 	if err != nil {
 		b.Fatal(err)
 	}
-	post := func(b *testing.B, svc *service.Server) {
+	post := func(b *testing.B, svc *service.Server, body []byte) {
 		r := httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(body))
 		w := httptest.NewRecorder()
 		svc.ServeHTTP(w, r)
@@ -599,25 +605,113 @@ func BenchmarkServiceSolveCached(b *testing.B) {
 		}
 	}
 	b.Run("cold", func(b *testing.B) {
-		svc := service.New(service.Config{Workers: 1, CacheSize: -1})
+		svc := service.New(service.Config{Workers: 1})
 		defer svc.Close()
-		post(b, svc) // warm the workspace pool like the hot path's priming call
+		post(b, svc, baseBody) // warm the workspace pool like the hot path's priming call
+		bodies := make([][]byte, b.N)
+		for i := range bodies {
+			mutant := base.Clone()
+			if _, err := mutant.RescaleOpen(0, 1+1e-7*float64(i+1)); err != nil {
+				b.Fatal(err)
+			}
+			req := repro.NewRequest(mutant, repro.WithSolver("acyclic"), repro.WithTolerance(1e-9))
+			if bodies[i], err = wire.EncodeRequest(req); err != nil {
+				b.Fatal(err)
+			}
+		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			post(b, svc)
+			post(b, svc, bodies[i])
 		}
 	})
 	b.Run("hot", func(b *testing.B) {
 		svc := service.New(service.Config{Workers: 1})
 		defer svc.Close()
-		post(b, svc) // prime the cache
+		post(b, svc, baseBody) // prime the cache
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			post(b, svc)
+			post(b, svc, baseBody)
 		}
 	})
+}
+
+// BenchmarkServiceSolveWarm measures the plan store's middle latency
+// tier on the BenchmarkServiceSolveCached instance (200 nodes), against
+// a cold reference through the *same* store-enabled service so the two
+// sub-benchmarks differ only in how each request is answered:
+//
+//	cold — every iteration posts a distinct mutant with six open
+//	       bandwidths rescaled, past the similarity index's edit
+//	       budget (4): the scan misses, a full solve answers, and the
+//	       plan spills to the store — the production miss path;
+//	warm — every iteration posts a distinct mutant with one open
+//	       bandwidth rescaled, within budget: the index seeds an
+//	       incremental repair from the persisted base plan, and the
+//	       admission policy skips the re-spill.
+//
+// (BenchmarkServiceSolveCached's cold is deliberately *not* the
+// reference: it disables the cache, so it skips the canonical-key
+// encode, cache insert, neighbor scan, and store spill that every
+// production miss pays.) Each iteration checks the X-Bmpcast-Cache
+// label, so the benchmark fails loudly if a tier stops engaging. The
+// acceptance bar is warm strictly between hot (BenchmarkServiceSolve-
+// Cached/hot) and cold. Gated in CI via BENCH_baseline.json.
+func BenchmarkServiceSolveWarm(b *testing.B) {
+	base := randomMixed(1, 120, 80)
+	baseReq := repro.NewRequest(base, repro.WithSolver("acyclic"), repro.WithTolerance(1e-9))
+	baseBody, err := wire.EncodeRequest(baseReq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// mutate rescales open bandwidths 0..edits-1 by factors that are
+	// distinct per iteration and per node, so every body is unique and
+	// the node-multiset distance to the base is exactly edits.
+	mutate := func(i, edits int) []byte {
+		mutant := base.Clone()
+		for n := 0; n < edits; n++ {
+			if _, err := mutant.RescaleOpen(n, 1+1e-7*float64(i*edits+n+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		req := repro.NewRequest(mutant, repro.WithSolver("acyclic"), repro.WithTolerance(1e-9))
+		body, err := wire.EncodeRequest(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return body
+	}
+	run := func(b *testing.B, edits int, want string) {
+		svc, err := service.NewServer(service.Config{Workers: 1, StoreDir: b.TempDir()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Close()
+		post := func(body []byte) string {
+			r := httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			svc.ServeHTTP(w, r)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+			return w.Header().Get("X-Bmpcast-Cache")
+		}
+		post(baseBody) // solve and persist the plan the warm tier repairs from
+		bodies := make([][]byte, b.N)
+		for i := range bodies {
+			bodies[i] = mutate(i, edits)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if label := post(bodies[i]); label != want {
+				b.Fatalf("iteration %d answered %q, want %q — the %s tier is not engaging", i, label, want, want)
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) { run(b, planstore.DefaultEditBudget+2, "miss") })
+	b.Run("warm", func(b *testing.B) { run(b, 1, "warm") })
 }
 
 // BenchmarkClientRoundTrip measures one Solve through the Go SDK

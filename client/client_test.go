@@ -370,3 +370,37 @@ func TestBaseURLTrailingSlash(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSolveSurfacesWarmStart: client.Plan is the wire document, so
+// plan-store warm-start provenance (warm_started, neighbor_distance)
+// reaches SDK callers with no extra plumbing.
+func TestSolveSurfacesWarmStart(t *testing.T) {
+	srv, err := service.NewServer(service.Config{Workers: 2, StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	cold, err := c.Solve(ctx, engine.NewRequest(fig1(), engine.WithSolver("acyclic"), engine.WithTolerance(1e-9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.WarmStarted || cold.NeighborDistance != 0 {
+		t.Fatalf("cold plan claims warm provenance: %+v", cold)
+	}
+
+	mutated := platform.MustInstance(6, []float64{5, 4.5}, []float64{4, 1, 1})
+	warm, err := c.Solve(ctx, engine.NewRequest(mutated, engine.WithSolver("acyclic"), engine.WithTolerance(1e-9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmStarted || warm.NeighborDistance != 1 {
+		t.Fatalf("warm plan = warm:%v dist:%d, want a distance-1 warm start", warm.WarmStarted, warm.NeighborDistance)
+	}
+	if d := warm.Verified - warm.Throughput; d < -1e-9 || d > 1e-9 {
+		t.Fatalf("warm plan not verified: T=%v verified=%v", warm.Throughput, warm.Verified)
+	}
+}

@@ -29,16 +29,25 @@
 //	    churn-capable solver; output is byte-identical across runs
 //	    unless -timing is set.
 //
-//	bmpcast serve   [-addr :8080] [-workers 4] [-cache 1024] [-self URL] [-peers url1,url2] [-hedge-after 150ms]
+//	bmpcast serve   [-addr :8080] [-workers 4] [-cache 1024] [-store dir] [-store-budget 4] [-self URL] [-peers url1,url2] [-hedge-after 150ms]
 //	    Run the broadcast-planning HTTP service: POST /v1/solve,
 //	    /v1/batch, /v1/jobs and /v1/session (wire-format Request/Plan
 //	    documents), GET /v1/jobs/{id} and /v1/jobs/{id}/stream (NDJSON
 //	    per-item plans), plus /healthz and /metrics. Identical requests
-//	    are answered from a content-addressed plan cache. With -self or
+//	    are answered from a content-addressed plan cache. With -store
+//	    the cache persists across restarts and similar instances
+//	    warm-start the repair path. With -self or
 //	    -peers the replica joins a sharded cluster: each request's cache
 //	    key is consistent-hashed onto the replica ring so every distinct
 //	    plan is solved once cluster-wide, peers back-fill each other's
 //	    caches, and slow owners are hedged locally after -hedge-after.
+//
+//	bmpcast store stats|compact|verify -dir <dir>
+//	    Inspect, compact or integrity-check a `serve -store` plan-store
+//	    directory offline: stats prints entry/byte counts and health
+//	    flags, compact rewrites the log dropping undecodable records,
+//	    verify rescans every record's framing, checksums and documents
+//	    (non-zero exit on any problem).
 //
 //	bmpcast loadgen -addr http://h1:8080[,http://h2:8081,...] [-rps 50] [-duration 10s] [-seed 1] [-pjob 0.15] [-hedge-after 0] [-format text|bench]
 //	    Replay a seeded trace of mixed solve/job/stream traffic against
@@ -120,6 +129,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdSim(args[1:], stdout)
 	case "serve":
 		err = cmdServe(args[1:], stdout)
+	case "store":
+		err = cmdStore(args[1:], stdout)
 	case "loadgen":
 		err = cmdLoadgen(args[1:], stdout)
 	case "demo":
@@ -139,14 +150,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: bmpcast <solve|solvers|sweep|generate|simulate|sim|serve|loadgen|demo> [flags]
+	fmt.Fprintln(w, `usage: bmpcast <solve|solvers|sweep|generate|simulate|sim|serve|store|loadgen|demo> [flags]
   solve    -file inst.json [-solver acyclic] [-cyclic] [-verbose] [-wire] [-remote http://host:8080]
   solvers
   sweep    -dist <Unif100|Power1|Power2|LN1|LN2|PLab> -n <nodes> -p <openprob> -count <instances> [-solver acyclic-search] [-seed N] [-workers N] [-wire] [-remote http://host:8080] [-cpuprofile f] [-memprofile f]
   generate -dist <Unif100|Power1|Power2|LN1|LN2|PLab> -n <nodes> -p <openprob> [-seed N]
   simulate -file inst.json [-packets 300] [-seed 1]
   sim      [-seed N] [-events 30] [-n 20] [-p 0.7] [-dist Unif100] [-solvers acyclic|all|a,b,c] [-format json|csv] [-timing] [-norepair] [-cpuprofile f] [-memprofile f]
-  serve    [-addr :8080] [-workers 4] [-cache 1024] [-self URL] [-peers url1,url2] [-hedge-after 150ms]
+  serve    [-addr :8080] [-workers 4] [-cache 1024] [-store dir] [-store-budget 4] [-self URL] [-peers url1,url2] [-hedge-after 150ms]
+  store    <stats|compact|verify> -dir <dir>
   loadgen  -addr url1[,url2,...] [-rps 50] [-duration 10s] [-seed N] [-n 24] [-p 0.7] [-dist Unif100] [-solver acyclic] [-pjob 0.15] [-jobbatch 4] [-conc 64] [-hedge-after 0] [-format text|bench]
   demo     fig1|fig6|57|sqrt41`)
 }

@@ -254,14 +254,30 @@ func TestServeGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := os.ReadFile(filepath.Join("testdata", "serve_golden.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
 	svc := service.New(service.Config{Workers: 2})
 	defer svc.Close()
 	ts := httptest.NewServer(svc)
 	defer ts.Close()
+
+	goldenPath := filepath.Join("testdata", "serve_golden.json")
+	if *updateGolden {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(string(reqBody)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		if err := os.WriteFile(goldenPath, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	for round := 0; round < 2; round++ {
 		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(string(reqBody)))
@@ -284,9 +300,9 @@ func TestServeGolden(t *testing.T) {
 	}
 }
 
-// -update regenerates the jobs-stream golden file:
+// -update regenerates the serve and jobs-stream golden files:
 //
-//	go test ./cmd/bmpcast -run JobsStreamGolden -update
+//	go test ./cmd/bmpcast -run 'ServeGolden|JobsStreamGolden' -update
 var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
 
 // TestJobsStreamGolden pins the exact job request and concatenated

@@ -20,6 +20,7 @@ import (
 // until SIGINT/SIGTERM:
 //
 //	bmpcast serve [-addr :8080] [-workers 4] [-cache 1024]
+//	              [-store dir] [-store-budget 4]
 //	              [-self http://host:8080] [-peers url1,url2] [-hedge-after 150ms]
 //
 // Endpoints: POST /v1/solve, /v1/batch, /v1/jobs and /v1/session, GET
@@ -37,6 +38,12 @@ import (
 // after -hedge-after. Membership is announced to -peers on start and
 // a leave is broadcast on shutdown; /v1/cluster/* exposes the
 // peer-to-peer protocol (all of it versioned wire documents).
+//
+// With -store the plan cache persists to an append-only store in that
+// directory: plans solved before a restart are served byte-identical
+// (X-Bmpcast-Cache: hit) without re-solving, and similar instances
+// warm-start the repair path (X-Bmpcast-Cache: warm). `bmpcast store`
+// inspects, compacts and verifies the directory offline.
 func cmdServe(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
@@ -45,6 +52,8 @@ func cmdServe(args []string, stdout io.Writer) error {
 	self := fs.String("self", "", "advertised base URL of this replica; enables cluster mode (default derives from the listen address when -peers is set)")
 	peers := fs.String("peers", "", "comma-separated base URLs of existing replicas to join")
 	hedgeAfter := fs.Duration("hedge-after", 0, "owner latency budget before a forwarded solve is hedged with a local one (0 = 150ms default, negative = fail over only on owner errors)")
+	storeDir := fs.String("store", "", "persist solved plans to this directory: identical requests are answered byte-identical across restarts and similar requests warm-start (replica-local in cluster mode)")
+	storeBudget := fs.Int("store-budget", 0, "max node-multiset edit distance for warm-start neighbors (0 = default 4)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,10 +66,15 @@ func cmdServe(args []string, stdout io.Writer) error {
 	if selfURL == "" && len(peerList) > 0 {
 		selfURL = deriveSelf(ln.Addr())
 	}
-	svc := service.New(service.Config{
+	svc, err := service.NewServer(service.Config{
 		Workers: *workers, CacheSize: *cache,
 		Self: selfURL, Peers: peerList, HedgeAfter: *hedgeAfter,
+		StoreDir: *storeDir, StoreEditBudget: *storeBudget,
 	})
+	if err != nil {
+		ln.Close()
+		return fmt.Errorf("serve: %w", err)
+	}
 	defer svc.Close()
 	httpSrv := &http.Server{Handler: svc, ReadHeaderTimeout: 10 * time.Second}
 
@@ -69,6 +83,10 @@ func cmdServe(args []string, stdout io.Writer) error {
 			ln.Addr(), selfURL, *workers, len(peerList))
 	} else {
 		fmt.Fprintf(stdout, "bmpcast: serving on http://%s (workers=%d)\n", ln.Addr(), *workers)
+	}
+	if *storeDir != "" {
+		st := svc.StoreStats()
+		fmt.Fprintf(stdout, "bmpcast: plan store %s: %d plans / %d bytes loaded\n", *storeDir, st.Entries, st.Bytes)
 	}
 
 	stop := make(chan os.Signal, 1)

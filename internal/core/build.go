@@ -153,12 +153,25 @@ func SolveAcyclic(ins *platform.Instance) (float64, *Scheme, error) {
 // SolveAcyclicWithWorkspace is the full acyclic pipeline (search +
 // construction) on one reusable workspace.
 func SolveAcyclicWithWorkspace(ins *platform.Instance, ws *Workspace) (float64, *Scheme, error) {
+	T, s, _, err := SolveAcyclicWordWithWorkspace(ins, ws)
+	return T, s, err
+}
+
+// SolveAcyclicWordWithWorkspace is SolveAcyclicWithWorkspace keeping
+// the winning encoding word — the witness a caller retains to
+// warm-start a later RepairAcyclic (sessions do between churn events,
+// the plan store does across daemon restarts).
+func SolveAcyclicWordWithWorkspace(ins *platform.Instance, ws *Workspace) (float64, *Scheme, Word, error) {
 	ws = ws.ensure()
 	T, w, err := OptimalAcyclicThroughputWithWorkspace(ins, ws)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
-	return buildSchemeShaved(ins, w, T, ws)
+	T, s, err := buildSchemeShaved(ins, w, T, ws)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return T, s, w, nil
 }
 
 // buildSchemeShaved materializes word w at throughput T, retrying a

@@ -280,6 +280,16 @@ func (s *Scheme) Throughput() float64 {
 // so repeated verification (every solver runs one per instance, sweeps
 // run thousands) allocates nothing once the workspace is warm.
 func (s *Scheme) ThroughputWithWorkspace(ws *Workspace) float64 {
+	return s.ThroughputCappedWithWorkspace(ws, math.Inf(1))
+}
+
+// ThroughputCappedWithWorkspace computes min(cap, T): every per-target
+// max-flow query stops as soon as it proves flow ≥ cap, so verifying a
+// scheme against a throughput the caller already claims (the repair
+// path) skips the exact-value computation on every target with slack.
+// A result strictly below cap is the exact throughput — the minimum
+// target ran to exhaustion.
+func (s *Scheme) ThroughputCappedWithWorkspace(ws *Workspace, cap float64) float64 {
 	ws = ws.ensure()
 	total := s.ins.Total()
 	if total <= 1 {
@@ -291,7 +301,7 @@ func (s *Scheme) ThroughputWithWorkspace(ws *Workspace) float64 {
 			net.AddEdge(i, e.to, e.rate)
 		}
 	}
-	return ws.flow.MinFromSource(net, 0, ws.broadcastTargets(total))
+	return ws.flow.MinFromSourceCapped(net, 0, ws.broadcastTargets(total), cap)
 }
 
 // ThroughputExact computes the throughput with exact rational max-flow.

@@ -3,6 +3,7 @@ package engine
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -252,13 +253,13 @@ func TestCacheExecuteRendered(t *testing.T) {
 	}
 	ctx := context.Background()
 
-	first, hit, err := c.ExecuteRendered(ctx, r, req, render)
-	if err != nil || hit {
-		t.Fatalf("cold call: hit=%v err=%v", hit, err)
+	first, info, err := c.ExecuteRendered(ctx, r, req, render)
+	if err != nil || info.Hit {
+		t.Fatalf("cold call: info=%+v err=%v", info, err)
 	}
-	second, hit, err := c.ExecuteRendered(ctx, r, req, render)
-	if err != nil || !hit {
-		t.Fatalf("warm call: hit=%v err=%v", hit, err)
+	second, info, err := c.ExecuteRendered(ctx, r, req, render)
+	if err != nil || !info.Hit {
+		t.Fatalf("warm call: info=%+v err=%v", info, err)
 	}
 	if !bytes.Equal(first, second) {
 		t.Fatalf("rendered bytes differ: %s vs %s", first, second)
@@ -274,9 +275,9 @@ func TestCacheExecuteRendered(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := renders.Load()
-	out1, hit, err := c.ExecuteRendered(ctx, r, other, render)
-	if err != nil || !hit {
-		t.Fatalf("upgrade call: hit=%v err=%v", hit, err)
+	out1, info, err := c.ExecuteRendered(ctx, r, other, render)
+	if err != nil || !info.Hit {
+		t.Fatalf("upgrade call: info=%+v err=%v", info, err)
 	}
 	out2, _, err := c.ExecuteRendered(ctx, r, other, render)
 	if err != nil || !bytes.Equal(out1, out2) {
@@ -330,12 +331,12 @@ func TestCachePutRenderedServesByteHits(t *testing.T) {
 	if !c.PutRendered(req, doc) {
 		t.Fatal("PutRendered refused an encodable request")
 	}
-	out, hit, err := c.ExecuteRendered(context.Background(), r, req, render)
+	out, info, err := c.ExecuteRendered(context.Background(), r, req, render)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !hit || !bytes.Equal(out, doc) {
-		t.Fatalf("hit=%v out=%q, want the filled document", hit, out)
+	if !info.Hit || !bytes.Equal(out, doc) {
+		t.Fatalf("info=%+v out=%q, want the filled document", info, out)
 	}
 	if calls.Load() != 0 {
 		t.Fatalf("solver ran %d times answering a filled entry", calls.Load())
@@ -350,12 +351,12 @@ func TestCachePutRenderedServesByteHits(t *testing.T) {
 	if calls.Load() != 1 {
 		t.Fatalf("solver ran %d times for the plan path, want exactly 1", calls.Load())
 	}
-	out2, hit2, err := c.ExecuteRendered(context.Background(), r, req, render)
-	if err != nil || !hit2 || !bytes.Equal(out2, doc) {
-		t.Fatalf("after merge: hit=%v out=%q err=%v (first rendering must win)", hit2, out2, err)
+	out2, info2, err := c.ExecuteRendered(context.Background(), r, req, render)
+	if err != nil || !info2.Hit || !bytes.Equal(out2, doc) {
+		t.Fatalf("after merge: info=%+v out=%q err=%v (first rendering must win)", info2, out2, err)
 	}
-	if got := c.Stats().Entries; got != 1 {
-		t.Fatalf("entries = %d, want 1 (fill and solve share one entry)", got)
+	if st := c.Stats(); st.Entries != 1 || st.FillEntries != 0 {
+		t.Fatalf("entries = %+v, want 1 plan entry (fill and solve merged and promoted)", st)
 	}
 
 	// Filling an existing entry never clobbers its rendering.
@@ -365,5 +366,254 @@ func TestCachePutRenderedServesByteHits(t *testing.T) {
 	out3, _, err := c.ExecuteRendered(context.Background(), r, req, render)
 	if err != nil || !bytes.Equal(out3, doc) {
 		t.Fatalf("refill clobbered the stored rendering: %q", out3)
+	}
+}
+
+// TestCacheBackfillStormKeepsPlans is the eviction-tier regression: a
+// flood of rendered-only PutRendered fills (a cluster back-fill storm)
+// must wash out other fills, never the solved plans sharing the cache.
+func TestCacheBackfillStormKeepsPlans(t *testing.T) {
+	var calls atomic.Int64
+	r := countingRegistry(t, &calls)
+	c := NewCache(4, testKeyFunc)
+	reqFor := func(b0 float64) Request {
+		return NewRequest(platform.MustInstance(b0, []float64{5, 5}, nil),
+			WithSolver("acyclic"), WithCache(c))
+	}
+	for _, b0 := range []float64{6, 7, 8} {
+		if _, err := r.Execute(context.Background(), reqFor(b0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const storm = 100
+	for i := 0; i < storm; i++ {
+		req := NewRequest(platform.MustInstance(100+float64(i), []float64{5, 5}, nil),
+			WithSolver("acyclic"))
+		if !c.PutRendered(req, []byte(fmt.Sprintf("fill:%d", i))) {
+			t.Fatalf("fill %d refused", i)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 3 || st.FillEntries != 1 {
+		t.Fatalf("after storm: %+v, want 3 plan entries / 1 fill", st)
+	}
+	if st.Evictions != storm-1 {
+		t.Fatalf("evictions = %d, want %d (only fills evict fills)", st.Evictions, storm-1)
+	}
+	// Every solved plan is still warm: no re-solve.
+	for _, b0 := range []float64{6, 7, 8} {
+		if _, err := r.Execute(context.Background(), reqFor(b0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("solver ran %d times, want 3 (storm must not evict solved plans)", calls.Load())
+	}
+}
+
+// mockPlanStore scripts the PlanStore interface for cache tests.
+type mockPlanStore struct {
+	mu       sync.Mutex
+	rendered map[[sha256.Size]byte][]byte
+	neighbor *NeighborPlan
+	persists int
+	warmHeld []bool
+}
+
+func (m *mockPlanStore) Rendered(key [sha256.Size]byte) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out, ok := m.rendered[key]
+	return out, ok
+}
+
+func (m *mockPlanStore) Neighbor(Request) (NeighborPlan, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.neighbor == nil {
+		return NeighborPlan{}, false
+	}
+	return *m.neighbor, true
+}
+
+func (m *mockPlanStore) Persist(req Request, reqDoc, planDoc []byte, word core.Word) {
+	m.mu.Lock()
+	m.persists++
+	m.mu.Unlock()
+}
+
+func (m *mockPlanStore) NoteWarmStart(held bool) {
+	m.mu.Lock()
+	m.warmHeld = append(m.warmHeld, held)
+	m.mu.Unlock()
+}
+
+// mockIncRegistry registers an "acyclic" solver whose repair entry is
+// scripted: it records the warm-start word it was handed and reports
+// FellBack per the test's wish, solving fresh internally so the result
+// is always exact.
+func mockIncRegistry(solves, repairs *atomic.Int64, lastPrev *core.Word, fellBack bool, repairErr error) *Registry {
+	r := NewRegistry()
+	r.MustRegister(NewIncrementalSolver("acyclic", CapExact|CapHandlesGuarded|CapBuildsScheme,
+		func(ins *platform.Instance, ws *core.Workspace) (Result, error) {
+			solves.Add(1)
+			T, s, w, err := core.SolveAcyclicWordWithWorkspace(ins, ws)
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Throughput: T, Scheme: s, Word: w}, nil
+		},
+		func(ins *platform.Instance, prev core.Word, ws *core.Workspace) (core.RepairResult, error) {
+			repairs.Add(1)
+			if lastPrev != nil {
+				*lastPrev = prev
+			}
+			if repairErr != nil {
+				return core.RepairResult{}, repairErr
+			}
+			T, s, w, err := core.SolveAcyclicWordWithWorkspace(ins, ws)
+			if err != nil {
+				return core.RepairResult{}, err
+			}
+			return core.RepairResult{T: T, Scheme: s, Word: w, Verified: T, FellBack: fellBack}, nil
+		}))
+	return r
+}
+
+// TestCacheStoreDiskHit: an exact document persisted by an earlier
+// process answers the rendered path byte-identical with no solve.
+func TestCacheStoreDiskHit(t *testing.T) {
+	var solves atomic.Int64
+	r := countingRegistry(t, &solves)
+	c := NewCache(8, testKeyFunc)
+	req := NewRequest(cacheFig1(), WithSolver("acyclic"), WithCache(c))
+	data, err := testKeyFunc(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := []byte(`{"persisted":true}`)
+	store := &mockPlanStore{rendered: map[[sha256.Size]byte][]byte{sha256.Sum256(data): doc}}
+	c.SetStore(store)
+
+	render := func(p *Plan) ([]byte, error) { return nil, fmt.Errorf("must not render a disk hit") }
+	out, info, err := c.ExecuteRendered(context.Background(), r, req, render)
+	if err != nil || !info.Hit || info.Warm {
+		t.Fatalf("info=%+v err=%v, want a plain hit", info, err)
+	}
+	if !bytes.Equal(out, doc) {
+		t.Fatalf("out=%q, want the persisted document byte-identical", out)
+	}
+	if solves.Load() != 0 {
+		t.Fatalf("solver ran %d times answering a persisted document", solves.Load())
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want the disk answer counted as a hit", st)
+	}
+}
+
+// TestCacheStoreWarmStart: a neighbor's word seeds the repair path; the
+// repair holds, so the answer is warm — and NOT re-spilled (admission
+// policy: a repaired plan sits within edit budget of the entry that
+// served it, so persisting it adds no similarity coverage).
+func TestCacheStoreWarmStart(t *testing.T) {
+	var solves, repairs atomic.Int64
+	var prev core.Word
+	r := mockIncRegistry(&solves, &repairs, &prev, false, nil)
+	c := NewCache(8, testKeyFunc)
+	nbWord, err := core.ParseWord("gogog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := &mockPlanStore{neighbor: &NeighborPlan{Word: nbWord, Distance: 2}}
+	c.SetStore(store)
+	req := NewRequest(cacheFig1(), WithSolver("acyclic"), WithCache(c))
+	render := func(p *Plan) ([]byte, error) { return json.Marshal(p.Throughput) }
+
+	out, info, err := c.ExecuteRendered(context.Background(), r, req, render)
+	if err != nil || len(out) == 0 {
+		t.Fatalf("out=%q err=%v", out, err)
+	}
+	if info.Hit || !info.Warm || info.Distance != 2 {
+		t.Fatalf("info=%+v, want a held warm start at distance 2", info)
+	}
+	if repairs.Load() != 1 || solves.Load() != 0 {
+		t.Fatalf("repairs/solves = %d/%d, want 1/0 (warm start routes through repair)", repairs.Load(), solves.Load())
+	}
+	if prev.String() != nbWord.String() {
+		t.Fatalf("repair saw warm word %q, want the neighbor's %q", prev, nbWord)
+	}
+	plan, err := c.execute(context.Background(), r, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.WarmStarted || plan.NeighborDistance != 2 || !plan.Repaired {
+		t.Fatalf("plan provenance = warm:%v dist:%d repaired:%v", plan.WarmStarted, plan.NeighborDistance, plan.Repaired)
+	}
+	store.mu.Lock()
+	persists, warmHeld := store.persists, append([]bool(nil), store.warmHeld...)
+	store.mu.Unlock()
+	if persists != 0 {
+		t.Fatalf("persists = %d, want 0 (a held repair is not re-spilled)", persists)
+	}
+	if len(warmHeld) != 1 || !warmHeld[0] {
+		t.Fatalf("warm outcomes = %v, want one held", warmHeld)
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want the warm solve counted as a miss and the re-read as a hit", st)
+	}
+}
+
+// TestCacheStoreWarmFallback: the repair deviates (FellBack) — the
+// answer is exact but not warm, and the store hears about the fallback.
+func TestCacheStoreWarmFallback(t *testing.T) {
+	var solves, repairs atomic.Int64
+	r := mockIncRegistry(&solves, &repairs, nil, true, nil)
+	c := NewCache(8, testKeyFunc)
+	nbWord, err := core.ParseWord("ggggg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := &mockPlanStore{neighbor: &NeighborPlan{Word: nbWord, Distance: 4}}
+	c.SetStore(store)
+	req := NewRequest(cacheFig1(), WithSolver("acyclic"), WithCache(c))
+
+	plan, err := c.execute(context.Background(), r, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.WarmStarted || plan.Repaired {
+		t.Fatalf("warm:%v repaired:%v, want an attempted warm start that fell back", plan.WarmStarted, plan.Repaired)
+	}
+	store.mu.Lock()
+	warmHeld := append([]bool(nil), store.warmHeld...)
+	store.mu.Unlock()
+	if len(warmHeld) != 1 || warmHeld[0] {
+		t.Fatalf("warm outcomes = %v, want one fallback", warmHeld)
+	}
+}
+
+// TestCacheStoreWarmErrorRetriesCold: a repair-path failure must never
+// fail a request the cold path would have answered.
+func TestCacheStoreWarmErrorRetriesCold(t *testing.T) {
+	var solves, repairs atomic.Int64
+	r := mockIncRegistry(&solves, &repairs, nil, false, fmt.Errorf("synthetic repair failure"))
+	c := NewCache(8, testKeyFunc)
+	nbWord, err := core.ParseWord("ooggg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := &mockPlanStore{neighbor: &NeighborPlan{Word: nbWord, Distance: 1}}
+	c.SetStore(store)
+	req := NewRequest(cacheFig1(), WithSolver("acyclic"), WithCache(c))
+
+	plan, err := c.execute(context.Background(), r, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repairs.Load() != 1 || solves.Load() != 1 {
+		t.Fatalf("repairs/solves = %d/%d, want 1/1 (failed warm retries cold once)", repairs.Load(), solves.Load())
+	}
+	if plan.WarmStarted || plan.Repaired {
+		t.Fatalf("warm:%v repaired:%v, want a clean cold answer", plan.WarmStarted, plan.Repaired)
 	}
 }

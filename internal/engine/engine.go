@@ -121,11 +121,22 @@ type Result struct {
 	Edges int
 	// Wall is the wall-clock duration of the Solve call.
 	Wall time.Duration
-	// Repaired reports that the result came from a Session's
-	// incremental-repair path (warm start from the previous event's
-	// solution) rather than a from-scratch solve. Always false outside
-	// sessions.
+	// Repaired reports that the result came from an incremental-repair
+	// path (warm start from a previous solution's word) rather than a
+	// from-scratch solve — a Session resolve after platform churn, or a
+	// plan-store neighbor warm start. False when the repair fell back to
+	// a full solve.
 	Repaired bool
+	// WarmStarted reports that a plan-store similarity lookup seeded
+	// this solve with a stored neighbor's word (the cache's warm tier).
+	// Repaired then tells whether the warm start held; WarmStarted with
+	// Repaired false means the repair deviated and the answer came from
+	// the full-solve fallback — still exact, just not cheaper.
+	WarmStarted bool
+	// NeighborDistance is the node-multiset edit distance between the
+	// request's instance and the stored neighbor that seeded the warm
+	// start. Meaningful only when WarmStarted.
+	NeighborDistance int
 	// Verified is the scheme's max-flow-verified throughput when the
 	// solve path verified it — Session resolves of CapIncremental
 	// solvers always do, upholding the repair contract. Zero means the

@@ -31,8 +31,13 @@ import (
 // bits — can differ from the seed's. The CSR max-flow refactor that
 // landed in the same change reproduced the original digests exactly
 // before the search rework, which is what proved it bit-identical.
+//
+// The acyclic digest was re-pinned once more when the solver started
+// reporting its witness word (the plan-store warm-start provenance):
+// throughput, degree stats and every scheme edge are bit-identical to
+// the previous pin — only the word, previously empty, now folds in.
 var solverFingerprints = map[string]string{
-	"acyclic":        "de095d6c74bfb2b0da3d6835e01a11a1a59a74bfd5bf05f060f541d21f0893ca",
+	"acyclic":        "bc8b6c1457de186f142e7527e599f13dcaafec3f5603b7d31a70bbda1dcf511c",
 	"acyclic-open":   "6f50fd6f2c2c2b14e3d81c7cf3aa71d79792fd3a29b4aec233ad757076ad8500",
 	"acyclic-search": "7f023fb49360812c0807bd34ee6996c3b4e6db2f490ede59326776de0d5693d2",
 	"cyclic-bound":   "5c8ec28f5cd96f02ede442eef13f1f7283bd20eab1dacc10197795792956cca8",

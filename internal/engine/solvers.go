@@ -26,11 +26,13 @@ func init() {
 	Default.MustRegister(NewIncrementalSolver("acyclic",
 		CapExact|CapHandlesGuarded|CapBuildsScheme,
 		func(ins *platform.Instance, ws *core.Workspace) (Result, error) {
-			T, s, err := core.SolveAcyclicWithWorkspace(ins, ws)
+			// Keep the witness word: it is the warm start a Session (or
+			// the plan store's neighbor index) repairs from later.
+			T, s, w, err := core.SolveAcyclicWordWithWorkspace(ins, ws)
 			if err != nil {
 				return Result{}, err
 			}
-			return Result{Throughput: T, Scheme: s}, nil
+			return Result{Throughput: T, Scheme: s, Word: w}, nil
 		},
 		core.RepairAcyclicWithWorkspace))
 

@@ -1,0 +1,551 @@
+package planstore
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/wire"
+)
+
+// DefaultEditBudget is the node-multiset edit distance within which a
+// stored plan counts as a warm-start neighbor. Each platform mutation
+// (add/remove/rescale a node, retune the source) moves an instance by
+// at most one unit per class, so the default tolerates a small churn
+// burst without admitting unrelated instances.
+const DefaultEditBudget = 4
+
+const (
+	logName   = "plans.log"
+	indexName = "index.json"
+)
+
+// Config tunes a Store.
+type Config struct {
+	// Dir is the store directory, created if absent.
+	Dir string
+	// EditBudget caps the similarity distance for Neighbor (≤ 0 means
+	// DefaultEditBudget).
+	EditBudget int
+}
+
+// Stats is a snapshot of a store's counters. Entries/Bytes are current
+// sizes; the hit counters only grow; Truncated and Skipped describe
+// what the last Open had to drop.
+type Stats struct {
+	// Entries is the number of stored plans.
+	Entries int
+	// Bytes is the log size on disk.
+	Bytes int64
+	// DiskHits counts exact-address lookups answered from disk.
+	DiskHits int64
+	// WarmHits counts neighbor warm starts where the repair held.
+	WarmHits int64
+	// Fallbacks counts neighbor warm starts that deviated and were
+	// answered by the full-solve fallback instead.
+	Fallbacks int64
+	// Truncated counts torn tails dropped by Open (0 or 1: the log is
+	// append-only, so at most its end can tear).
+	Truncated int
+	// Skipped counts structurally valid records Open could not decode
+	// as wire documents (e.g. written by a future version) — kept out
+	// of the indexes, removed by Compact.
+	Skipped int
+	// IndexStale reports that index.json disagreed with the log at
+	// Open (e.g. the previous process died before rewriting it).
+	IndexStale bool
+}
+
+// recordRef locates one record inside the log.
+type recordRef struct {
+	off     int64 // record start (header line)
+	n       int   // total frame length
+	planOff int64 // plan document start
+	planLen int
+}
+
+// sig is one entry of the in-memory similarity index: the instance's
+// node-multiset signature plus the stored solution's word.
+type sig struct {
+	key     [sha256.Size]byte
+	opts    string // request fingerprint minus the instance
+	b0      float64
+	open    []float64 // non-increasing, the platform invariant
+	guarded []float64
+	word    core.Word
+}
+
+// Store is a persistent content-addressed plan store. It implements
+// engine.PlanStore; attach it to a cache with Cache.SetStore (the
+// service does when Config.StoreDir is set). Safe for concurrent use.
+type Store struct {
+	dir    string
+	budget int
+
+	mu    sync.Mutex
+	f     *os.File
+	size  int64
+	refs  map[[sha256.Size]byte]recordRef
+	order [][sha256.Size]byte // insertion order, for Compact
+	sigs  []sig
+
+	truncated  int
+	skipped    int
+	indexStale bool
+
+	diskHits  atomic.Int64
+	warmHits  atomic.Int64
+	fallbacks atomic.Int64
+}
+
+// Open loads (or creates) the store in cfg.Dir, recovering from a torn
+// tail: the first frame that does not decode ends the log, everything
+// after it is truncated away, and everything before it is served. A
+// re-solve of the dropped request re-persists it — crash consistency
+// by replay, not by fsync.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("planstore: empty directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("planstore: %w", err)
+	}
+	budget := cfg.EditBudget
+	if budget <= 0 {
+		budget = DefaultEditBudget
+	}
+	path := filepath.Join(cfg.Dir, logName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("planstore: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("planstore: %w", err)
+	}
+	s := &Store{
+		dir:    cfg.Dir,
+		budget: budget,
+		f:      f,
+		refs:   make(map[[sha256.Size]byte]recordRef),
+	}
+	var off int64
+	for int(off) < len(data) {
+		key, reqDoc, planDoc, n, err := decodeRecord(data[off:])
+		if err != nil {
+			// Torn tail (or tampering): the log ends here. Drop the
+			// unreachable remainder so the next append starts clean.
+			s.truncated++
+			break
+		}
+		s.addLocked(key, recordRef{
+			off: off, n: n,
+			planOff: off + int64(n-len(planDoc)), planLen: len(planDoc),
+		}, reqDoc, planDoc, nil, nil)
+		off += int64(n)
+	}
+	s.size = off
+	if int(off) < len(data) {
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("planstore: dropping torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(off, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("planstore: %w", err)
+	}
+	idxData, idxErr := os.ReadFile(filepath.Join(cfg.Dir, indexName))
+	if idxErr != nil {
+		s.indexStale = !os.IsNotExist(idxErr) || len(s.refs) > 0
+	} else if idx, err := decodeIndex(idxData); err != nil || idx.Records != len(s.refs) || idx.Bytes != s.size {
+		s.indexStale = true
+	}
+	s.writeIndexLocked()
+	return s, nil
+}
+
+// addLocked indexes one decoded record. Records whose documents do not
+// decode as wire documents are counted and skipped — they would never
+// match a live request's address anyway. A non-nil reqHint is trusted
+// as the decoded form of reqDoc and a non-nil word as the plan's
+// encoding word (the solve path just produced all four), skipping the
+// JSON re-parses; the Open replay path passes neither and decodes +
+// validates both documents here.
+func (s *Store) addLocked(key [sha256.Size]byte, ref recordRef, reqDoc, planDoc []byte, reqHint *engine.Request, word core.Word) {
+	if _, dup := s.refs[key]; dup {
+		s.skipped++
+		return
+	}
+	var req engine.Request
+	if reqHint != nil {
+		req = *reqHint
+	} else {
+		var err error
+		if req, err = wire.DecodeRequest(reqDoc); err != nil {
+			s.skipped++
+			return
+		}
+	}
+	if word == nil {
+		plan, err := wire.DecodePlan(planDoc)
+		if err != nil {
+			s.skipped++
+			return
+		}
+		if plan.Word != "" {
+			if w, err := core.ParseWord(plan.Word); err == nil {
+				word = w
+			}
+		}
+	}
+	s.refs[key] = ref
+	s.order = append(s.order, key)
+	if len(word) == 0 || req.Instance == nil {
+		return // valid record, but wordless plans cannot seed a repair
+	}
+	s.sigs = append(s.sigs, sig{
+		key:     key,
+		opts:    optsKey(req),
+		b0:      req.Instance.B0,
+		open:    req.Instance.OpenBW,
+		guarded: req.Instance.GuardedBW,
+		word:    word,
+	})
+}
+
+// Rendered implements engine.PlanStore: the stored canonical plan
+// document under the exact content address, byte-identical to what was
+// persisted.
+func (s *Store) Rendered(key [sha256.Size]byte) ([]byte, bool) {
+	s.mu.Lock()
+	ref, ok := s.refs[key]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	out := make([]byte, ref.planLen)
+	_, err := s.f.ReadAt(out, ref.planOff)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, false
+	}
+	s.diskHits.Add(1)
+	return out, true
+}
+
+// Neighbor implements engine.PlanStore: the closest stored instance
+// with the same solver and request options, within the edit budget.
+// Ties break toward the earliest stored record, so a given store
+// answers deterministically.
+func (s *Store) Neighbor(req engine.Request) (engine.NeighborPlan, bool) {
+	if req.Instance == nil {
+		return engine.NeighborPlan{}, false
+	}
+	opts := optsKey(req)
+	s.mu.Lock()
+	sigs := s.sigs // entries are immutable; append replaces the slice
+	s.mu.Unlock()
+	best, bestDist := -1, s.budget+1
+	for i := range sigs {
+		if sigs[i].opts != opts {
+			continue
+		}
+		d := distance(&sigs[i], req, bestDist)
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if best < 0 {
+		return engine.NeighborPlan{}, false
+	}
+	word := make(core.Word, len(sigs[best].word))
+	copy(word, sigs[best].word)
+	return engine.NeighborPlan{Word: word, Distance: bestDist}, true
+}
+
+// distance is the node-multiset edit distance between a stored
+// signature and the query instance, cut off at limit (the caller's
+// current best): per node class, the larger of deletions and additions
+// (a rescale is one edit, not two), plus one for a source retune.
+func distance(sg *sig, req engine.Request, limit int) int {
+	d := 0
+	if sg.b0 != req.Instance.B0 {
+		d++
+	}
+	if d >= limit {
+		return limit
+	}
+	d += multisetDist(sg.open, req.Instance.OpenBW)
+	if d >= limit {
+		return limit
+	}
+	d += multisetDist(sg.guarded, req.Instance.GuardedBW)
+	if d >= limit {
+		return limit
+	}
+	return d
+}
+
+// multisetDist compares two bandwidth multisets (both sorted
+// non-increasing, the platform invariant): max(#only-in-a, #only-in-b).
+func multisetDist(a, b []float64) int {
+	onlyA, onlyB := 0, 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] > b[j]:
+			onlyA++
+			i++
+		default:
+			onlyB++
+			j++
+		}
+	}
+	onlyA += len(a) - i
+	onlyB += len(b) - j
+	if onlyA > onlyB {
+		return onlyA
+	}
+	return onlyB
+}
+
+// optsKey fingerprints everything about a request except its instance:
+// solver, tolerance, artifacts, capabilities. Warm starts only cross
+// instances, never option sets — a plan solved under a different
+// solver or tolerance is not a neighbor. Built by hand rather than by
+// marshaling the wire form: this runs on the similarity hot path (once
+// per Neighbor query, once per Persist) where a JSON encode is ~10×
+// the cost of the whole multiset scan. The key only ever compares
+// against other keys from this function, so the format is free to be
+// internal.
+func optsKey(req engine.Request) string {
+	var b strings.Builder
+	b.Grow(64)
+	b.WriteString(req.Solver)
+	for _, n := range req.Need.Names() {
+		b.WriteByte(',')
+		b.WriteString(n)
+	}
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(int64(req.Deadline), 10))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatFloat(req.Tolerance, 'g', -1, 64))
+	b.WriteByte('|')
+	if req.WantScheme {
+		b.WriteByte('s')
+	}
+	if req.WantTrees {
+		b.WriteByte('t')
+	}
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(req.ScheduleBlocks))
+	return b.String()
+}
+
+// Persist implements engine.PlanStore: append one solved request/plan
+// document pair. Duplicate addresses and framing failures are no-ops —
+// spilling is best-effort, the cache stays correct without it. A
+// partial append is rolled back so the in-memory view never drifts
+// from the log (and a crash mid-append is healed by Open's recovery).
+// req (the decoded form of reqDoc) and a non-nil word skip the JSON
+// re-parses when building the similarity signature — the solve path
+// passes what it just computed; nil-word callers pay one plan decode.
+func (s *Store) Persist(req engine.Request, reqDoc, planDoc []byte, word core.Word) {
+	key := sha256.Sum256(reqDoc)
+	hdr, err := encodeHeader(key, reqDoc, planDoc)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.refs[key]; dup {
+		return
+	}
+	// Segmented appends instead of one concatenated buffer — the plan
+	// document dominates the record and is written straight from the
+	// caller's bytes. A failure at any segment rolls the log back to
+	// the pre-append size (the same torn state Open's recovery heals).
+	off := s.size
+	for _, seg := range [3][]byte{hdr, reqDoc, planDoc} {
+		n, err := s.f.WriteAt(seg, off)
+		if err != nil {
+			_ = s.f.Truncate(s.size)
+			return
+		}
+		off += int64(n)
+	}
+	total := int(off - s.size)
+	ref := recordRef{
+		off: s.size, n: total,
+		planOff: off - int64(len(planDoc)), planLen: len(planDoc),
+	}
+	s.size = off
+	s.addLocked(key, ref, reqDoc, planDoc, &req, word)
+}
+
+// NoteWarmStart implements engine.PlanStore.
+func (s *Store) NoteWarmStart(held bool) {
+	if held {
+		s.warmHits.Add(1)
+	} else {
+		s.fallbacks.Add(1)
+	}
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Entries:    len(s.refs),
+		Bytes:      s.size,
+		Truncated:  s.truncated,
+		Skipped:    s.skipped,
+		IndexStale: s.indexStale,
+	}
+	s.mu.Unlock()
+	st.DiskHits = s.diskHits.Load()
+	st.WarmHits = s.warmHits.Load()
+	st.Fallbacks = s.fallbacks.Load()
+	return st
+}
+
+// writeIndexLocked atomically replaces index.json. Callers hold s.mu.
+func (s *Store) writeIndexLocked() {
+	tmp := filepath.Join(s.dir, indexName+".tmp")
+	if err := os.WriteFile(tmp, encodeIndex(len(s.refs), s.size), 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, filepath.Join(s.dir, indexName))
+}
+
+// Close rewrites the index and closes the log.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeIndexLocked()
+	return s.f.Close()
+}
+
+// Compact rewrites the log keeping only live, decodable records (in
+// their original order, so neighbor tie-breaks are stable), dropping
+// skipped ones, and reports how many bytes it reclaimed. The rewrite
+// is atomic: a crash mid-compaction leaves either the old or the new
+// log.
+func (s *Store) Compact() (reclaimed int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmpPath := filepath.Join(s.dir, logName+".tmp")
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return 0, fmt.Errorf("planstore: compact: %w", err)
+	}
+	defer os.Remove(tmpPath)
+	newRefs := make(map[[sha256.Size]byte]recordRef, len(s.refs))
+	var off int64
+	for _, key := range s.order {
+		ref := s.refs[key]
+		buf := make([]byte, ref.n)
+		if _, err := s.f.ReadAt(buf, ref.off); err != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("planstore: compact: %w", err)
+		}
+		if _, err := tmp.Write(buf); err != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("planstore: compact: %w", err)
+		}
+		shift := off - ref.off
+		newRefs[key] = recordRef{off: off, n: ref.n, planOff: ref.planOff + shift, planLen: ref.planLen}
+		off += int64(ref.n)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("planstore: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("planstore: compact: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, logName)); err != nil {
+		return 0, fmt.Errorf("planstore: compact: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, logName), os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("planstore: compact: reopening: %w", err)
+	}
+	if _, err := f.Seek(off, 0); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("planstore: compact: %w", err)
+	}
+	old := s.f
+	reclaimed = s.size - off
+	s.f, s.size, s.refs = f, off, newRefs
+	s.skipped = 0
+	_ = old.Close()
+	s.writeIndexLocked()
+	return reclaimed, nil
+}
+
+// VerifyReport is the outcome of a full store scan.
+type VerifyReport struct {
+	// Records and Bytes describe the verified prefix of the log.
+	Records int
+	Bytes   int64
+	// Problems lists everything wrong, one human-readable line each
+	// (empty = clean). A truncated tail, an undecodable document, a
+	// stale index all land here.
+	Problems []string
+}
+
+// Verify re-reads the whole log from disk, re-checking every frame,
+// content address, checksum, and document decode, plus the advisory
+// index — the `bmpcast store verify` command.
+func (s *Store) Verify() (VerifyReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep VerifyReport
+	data, err := os.ReadFile(filepath.Join(s.dir, logName))
+	if err != nil {
+		return rep, fmt.Errorf("planstore: verify: %w", err)
+	}
+	var off int64
+	for int(off) < len(data) {
+		key, reqDoc, planDoc, n, err := decodeRecord(data[off:])
+		if err != nil {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("offset %d: %v", off, err))
+			break
+		}
+		if _, err := wire.DecodeRequest(reqDoc); err != nil {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("offset %d (%x): request document: %v", off, key[:4], err))
+		} else if _, err := wire.DecodePlan(planDoc); err != nil {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("offset %d (%x): plan document: %v", off, key[:4], err))
+		} else {
+			rep.Records++
+		}
+		off += int64(n)
+	}
+	rep.Bytes = off
+	// The index is a checkpoint (rewritten on open/close/compact, not
+	// per append), so lagging the log is normal. Claiming MORE than the
+	// log holds is not — that means log data went missing.
+	idxData, err := os.ReadFile(filepath.Join(s.dir, indexName))
+	if err != nil {
+		rep.Problems = append(rep.Problems, fmt.Sprintf("index: %v", err))
+	} else if idx, err := decodeIndex(idxData); err != nil {
+		rep.Problems = append(rep.Problems, fmt.Sprintf("index: %v", err))
+	} else if idx.Records > rep.Records || idx.Bytes > rep.Bytes {
+		rep.Problems = append(rep.Problems,
+			fmt.Sprintf("index says %d records / %d bytes, log has only %d / %d", idx.Records, idx.Bytes, rep.Records, rep.Bytes))
+	}
+	return rep, nil
+}

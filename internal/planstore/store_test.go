@@ -1,0 +1,354 @@
+package planstore
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/platform"
+	"repro/internal/wire"
+)
+
+// solveDocs renders one request/plan document pair through the real
+// engine and wire codec — store tests exercise the exact bytes the
+// cache would spill.
+func solveDocs(t *testing.T, req engine.Request) (reqDoc, planDoc []byte) {
+	t.Helper()
+	reqDoc, err := wire.EncodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := engine.Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planDoc, err = wire.EncodePlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqDoc, planDoc
+}
+
+func fig1Request(b0 float64) engine.Request {
+	return engine.NewRequest(platform.MustInstance(b0, []float64{5, 5}, []float64{4, 1, 1}),
+		engine.WithSolver("acyclic"), engine.WithTolerance(1e-9))
+}
+
+// persistDocs solves req, persists the document pair the way the
+// cache's spill path would (decoded request alongside the bytes), and
+// returns the docs.
+func persistDocs(t *testing.T, s *Store, req engine.Request) (reqDoc, planDoc []byte) {
+	t.Helper()
+	reqDoc, planDoc = solveDocs(t, req)
+	s.Persist(req, reqDoc, planDoc, nil)
+	return reqDoc, planDoc
+}
+
+func openStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+
+	type rec struct {
+		key     [sha256.Size]byte
+		planDoc []byte
+	}
+	var recs []rec
+	for _, b0 := range []float64{6, 7, 8} {
+		reqDoc, planDoc := persistDocs(t, s, fig1Request(b0))
+		recs = append(recs, rec{sha256.Sum256(reqDoc), planDoc})
+	}
+	st := s.Stats()
+	if st.Entries != 3 || st.Bytes <= 0 || st.Truncated != 0 {
+		t.Fatalf("stats after persist: %+v", st)
+	}
+	// Duplicate persists are no-ops.
+	persistDocs(t, s, fig1Request(6))
+	if got := s.Stats(); got.Entries != 3 || got.Bytes != st.Bytes {
+		t.Fatalf("duplicate persist grew the store: %+v -> %+v", st, got)
+	}
+	for i, r := range recs {
+		out, ok := s.Rendered(r.key)
+		if !ok || !bytes.Equal(out, r.planDoc) {
+			t.Fatalf("record %d: ok=%v, bytes differ", i, ok)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: every document must round-trip byte-identical, the index
+	// must be fresh, nothing truncated.
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	st = s2.Stats()
+	if st.Entries != 3 || st.Truncated != 0 || st.Skipped != 0 || st.IndexStale {
+		t.Fatalf("stats after reopen: %+v", st)
+	}
+	for i, r := range recs {
+		out, ok := s2.Rendered(r.key)
+		if !ok || !bytes.Equal(out, r.planDoc) {
+			t.Fatalf("record %d after reopen: ok=%v, byte-identity broken", i, ok)
+		}
+	}
+	rep, err := s2.Verify()
+	if err != nil || len(rep.Problems) != 0 || rep.Records != 3 {
+		t.Fatalf("verify: %+v err=%v", rep, err)
+	}
+}
+
+// TestStoreCrashConsistency simulates a daemon killed mid-append: the
+// log ends in a torn record. Open must load everything before the
+// tear, drop the tail, report it, and accept a re-persist of the lost
+// plan on the next solve.
+func TestStoreCrashConsistency(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	var lastReq, lastPlan []byte
+	var lastR engine.Request
+	var keys [][sha256.Size]byte
+	for _, b0 := range []float64{6, 7, 8} {
+		lastR = fig1Request(b0)
+		reqDoc, planDoc := persistDocs(t, s, lastR)
+		lastReq, lastPlan = reqDoc, planDoc
+		keys = append(keys, sha256.Sum256(reqDoc))
+	}
+	full := s.Stats().Bytes
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	logPath := filepath.Join(dir, logName)
+	info, err := os.Stat(logPath)
+	if err != nil || info.Size() != full {
+		t.Fatalf("log size %d, want %d (err=%v)", info.Size(), full, err)
+	}
+	// Tear the last record at a handful of depths: inside the payload,
+	// at the payload boundary, and inside the header line.
+	for _, cut := range []int64{1, int64(len(lastPlan)), int64(len(lastPlan) + len(lastReq) + 2)} {
+		if err := os.Truncate(logPath, full-cut); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(Config{Dir: dir})
+		if err != nil {
+			t.Fatalf("cut %d: open after crash: %v", cut, err)
+		}
+		st := s.Stats()
+		if st.Entries != 2 || st.Truncated != 1 {
+			t.Fatalf("cut %d: stats %+v, want 2 entries / 1 truncated", cut, st)
+		}
+		if !st.IndexStale {
+			t.Fatalf("cut %d: index claimed fresh over a torn log", cut)
+		}
+		for i := 0; i < 2; i++ {
+			if _, ok := s.Rendered(keys[i]); !ok {
+				t.Fatalf("cut %d: surviving record %d unreadable", cut, i)
+			}
+		}
+		if _, ok := s.Rendered(keys[2]); ok {
+			t.Fatalf("cut %d: torn record still served", cut)
+		}
+		// The next solve of the lost request re-persists it cleanly.
+		s.Persist(lastR, lastReq, lastPlan, nil)
+		out, ok := s.Rendered(keys[2])
+		if !ok || !bytes.Equal(out, lastPlan) {
+			t.Fatalf("cut %d: re-persist after crash failed", cut)
+		}
+		if rep, err := s.Verify(); err != nil || len(rep.Problems) != 0 {
+			t.Fatalf("cut %d: verify after recovery: %+v err=%v", cut, rep, err)
+		}
+		full = s.Stats().Bytes
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStoreNeighbor(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	defer s.Close()
+
+	base := fig1Request(6)
+	persistDocs(t, s, base)
+
+	// One rescaled open node: distance 1, same options — a neighbor.
+	mut := base.Instance.Clone()
+	if _, err := mut.RescaleOpen(0, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	query := engine.NewRequest(mut, engine.WithSolver("acyclic"), engine.WithTolerance(1e-9))
+	nb, ok := s.Neighbor(query)
+	if !ok || nb.Distance != 1 || len(nb.Word) == 0 {
+		t.Fatalf("neighbor = %+v ok=%v, want distance 1 with a word", nb, ok)
+	}
+
+	// Different options (tolerance) never match.
+	diffOpts := engine.NewRequest(mut, engine.WithSolver("acyclic"))
+	if _, ok := s.Neighbor(diffOpts); ok {
+		t.Fatal("neighbor crossed option sets")
+	}
+
+	// Beyond the edit budget: no neighbor.
+	far := platform.MustInstance(60, []float64{50, 40, 30, 20, 10}, []float64{9, 8, 7})
+	farReq := engine.NewRequest(far, engine.WithSolver("acyclic"), engine.WithTolerance(1e-9))
+	if nb, ok := s.Neighbor(farReq); ok {
+		t.Fatalf("far instance matched: %+v", nb)
+	}
+
+	// A closer stored instance wins over a farther one.
+	persistDocs(t, s, engine.NewRequest(mut.Clone(), engine.WithSolver("acyclic"), engine.WithTolerance(1e-9)))
+	mut2 := mut.Clone()
+	if _, err := mut2.RescaleOpen(1, 1.1); err != nil {
+		t.Fatal(err)
+	}
+	query2 := engine.NewRequest(mut2, engine.WithSolver("acyclic"), engine.WithTolerance(1e-9))
+	nb2, ok := s.Neighbor(query2)
+	if !ok || nb2.Distance != 1 {
+		t.Fatalf("nearest neighbor not chosen: %+v ok=%v", nb2, ok)
+	}
+}
+
+func TestStoreCompactDropsSkippedRecords(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	var key0 [sha256.Size]byte
+	var plan0 []byte
+	for _, b0 := range []float64{6, 7} {
+		reqDoc, planDoc := persistDocs(t, s, fig1Request(b0))
+		if b0 == 6 {
+			key0, plan0 = sha256.Sum256(reqDoc), planDoc
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append a structurally valid record whose documents are not wire
+	// documents — a future version's record, say. Open skips it.
+	junk, err := encodeRecord([]byte(`{"v":99}`), []byte(`{"v":99}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(junk); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s = openStore(t, dir)
+	defer s.Close()
+	st := s.Stats()
+	if st.Entries != 2 || st.Skipped != 1 {
+		t.Fatalf("stats with junk record: %+v", st)
+	}
+	before := st.Bytes
+	reclaimed, err := s.Compact()
+	if err != nil || reclaimed != int64(len(junk)) {
+		t.Fatalf("compact reclaimed %d (err=%v), want %d", reclaimed, err, len(junk))
+	}
+	st = s.Stats()
+	if st.Entries != 2 || st.Skipped != 0 || st.Bytes != before-int64(len(junk)) {
+		t.Fatalf("stats after compact: %+v", st)
+	}
+	out, ok := s.Rendered(key0)
+	if !ok || !bytes.Equal(out, plan0) {
+		t.Fatal("compact broke byte-identity of surviving records")
+	}
+	if rep, err := s.Verify(); err != nil || len(rep.Problems) != 0 || rep.Records != 2 {
+		t.Fatalf("verify after compact: %+v err=%v", rep, err)
+	}
+}
+
+func TestStoreVerifyFlagsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	persistDocs(t, s, fig1Request(6))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, logName)
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x40 // flip a bit inside the plan document
+	if err := os.WriteFile(logPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s = openStore(t, dir) // recovery drops the now-corrupt record
+	defer s.Close()
+	if st := s.Stats(); st.Entries != 0 || st.Truncated != 1 {
+		t.Fatalf("stats over corrupt log: %+v", st)
+	}
+}
+
+func TestMultisetDist(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want int
+	}{
+		{nil, nil, 0},
+		{[]float64{5, 5}, []float64{5, 5}, 0},
+		{[]float64{5, 5}, []float64{5, 4.5}, 1},  // rescale
+		{[]float64{5, 5}, []float64{5, 5, 3}, 1}, // add
+		{[]float64{5, 5, 3}, []float64{5, 5}, 1}, // remove
+		{[]float64{9, 5, 2}, []float64{8, 4, 1}, 3},
+		{[]float64{5}, []float64{7, 6, 5}, 2},
+	}
+	for _, c := range cases {
+		if got := multisetDist(c.a, c.b); got != c.want {
+			t.Errorf("multisetDist(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := multisetDist(c.b, c.a); got != c.want {
+			t.Errorf("multisetDist(%v, %v) = %d, want %d (asymmetric)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+// TestStoreNeighborDeterministic pins the tie-break: equal-distance
+// candidates resolve to the earliest stored record, every time.
+func TestStoreNeighborDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	defer s.Close()
+
+	base := fig1Request(6)
+	// Two stored instances both at distance 1 from the query.
+	left := base.Instance.Clone()
+	if _, err := left.RescaleOpen(0, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	right := base.Instance.Clone()
+	if _, err := right.RescaleOpen(0, 1.2); err != nil {
+		t.Fatal(err)
+	}
+	for _, ins := range []*platform.Instance{left, right} {
+		persistDocs(t, s, engine.NewRequest(ins, engine.WithSolver("acyclic"), engine.WithTolerance(1e-9)))
+	}
+	want, ok := s.Neighbor(base)
+	if !ok || want.Distance != 1 {
+		t.Fatalf("neighbor: %+v ok=%v", want, ok)
+	}
+	for i := 0; i < 10; i++ {
+		got, ok := s.Neighbor(base)
+		if !ok || got.Distance != want.Distance || got.Word.String() != want.Word.String() {
+			t.Fatalf("iteration %d: neighbor drifted: %+v vs %+v", i, got, want)
+		}
+	}
+}

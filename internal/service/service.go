@@ -59,6 +59,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/planstore"
 	"repro/internal/platform"
 	"repro/internal/wire"
 )
@@ -97,6 +98,19 @@ type Config struct {
 	// cluster.DefaultVNodes). All replicas and cluster-aware clients
 	// must agree on it.
 	VNodes int
+	// StoreDir, when non-empty, persists the plan cache to an
+	// append-only store in this directory (created if absent): solved
+	// plans spill to disk as canonical wire documents, identical
+	// requests are answered byte-identical across restarts, and similar
+	// requests warm-start the repair path (X-Bmpcast-Cache: warm).
+	// Requires the cache (CacheSize ≥ 0). In cluster mode the store is
+	// replica-local: the ring already partitions keys, so each replica
+	// persists only the shard it owns. Use NewServer to surface store
+	// open errors.
+	StoreDir string
+	// StoreEditBudget caps the node-multiset edit distance for
+	// warm-start neighbors (0 means planstore.DefaultEditBudget).
+	StoreEditBudget int
 }
 
 // Server is the broadcast-planning HTTP service. Create with New; it
@@ -106,9 +120,10 @@ type Server struct {
 	cfg   Config
 	gate  chan struct{}
 	mux   *http.ServeMux
-	cache *engine.Cache // nil when disabled
-	front *frontCache   // raw-body → response-bytes memo; nil when cache disabled
-	node  *cluster.Node // nil when standalone
+	cache *engine.Cache    // nil when disabled
+	front *frontCache      // raw-body → response-bytes memo; nil when cache disabled
+	store *planstore.Store // nil without Config.StoreDir
+	node  *cluster.Node    // nil when standalone
 
 	peerMu sync.Mutex
 	peers  map[string]*client.Client // lazily built per-member SDK clients
@@ -143,8 +158,21 @@ type session struct {
 	ses *engine.Session
 }
 
-// New builds a Server.
+// New builds a Server. It panics when the configuration cannot be
+// realized — only possible with a StoreDir that fails to open; use
+// NewServer to handle that as an error.
 func New(cfg Config) *Server {
+	s, err := NewServer(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewServer builds a Server, surfacing plan-store open errors (a
+// corrupt-beyond-recovery log, an unwritable directory). Without
+// Config.StoreDir it never fails.
+func NewServer(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
@@ -181,6 +209,17 @@ func New(cfg Config) *Server {
 		}
 		s.front = newFrontCache(size)
 	}
+	if cfg.StoreDir != "" {
+		if s.cache == nil {
+			return nil, fmt.Errorf("service: StoreDir requires the plan cache (CacheSize ≥ 0)")
+		}
+		store, err := planstore.Open(planstore.Config{Dir: cfg.StoreDir, EditBudget: cfg.StoreEditBudget})
+		if err != nil {
+			return nil, fmt.Errorf("service: opening plan store: %w", err)
+		}
+		s.store = store
+		s.cache.SetStore(store)
+	}
 	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
 	for _, ep := range []string{
 		"solve", "batch", "jobs", "jobstream", "session", "healthz", "metrics",
@@ -201,7 +240,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/cluster/leave", s.handleClusterLeave)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
 // execute routes one stateless solve through the plan cache (when
@@ -235,6 +274,9 @@ func (s *Server) Close() {
 	}
 	s.jobsCancel()
 	s.jobsWG.Wait()
+	if s.store != nil {
+		_ = s.store.Close()
+	}
 }
 
 // OpenSessions reports how many sessions are currently open.
@@ -352,7 +394,7 @@ func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, forwardable 
 		s.fail(w, engineCanceled(err))
 		return
 	}
-	out, hit, err := s.solveRendered(r.Context(), req)
+	out, info, err := s.solveRendered(r.Context(), req)
 	s.release()
 	if err != nil {
 		s.fail(w, err)
@@ -362,9 +404,14 @@ func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, forwardable 
 		s.front.put(bodyKey, out)
 	}
 	if s.cache != nil {
-		if hit {
+		switch {
+		case info.Hit:
 			w.Header().Set("X-Bmpcast-Cache", "hit")
-		} else {
+		case info.Warm:
+			// Solved, but warm-started from a persisted neighbor and the
+			// repair held — the store's middle latency tier.
+			w.Header().Set("X-Bmpcast-Cache", "warm")
+		default:
 			w.Header().Set("X-Bmpcast-Cache", "miss")
 		}
 	}
@@ -373,17 +420,18 @@ func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, forwardable 
 
 // solveRendered answers one solve as canonical document bytes: through
 // the cache's byte-level path when enabled (a hit skips the solver and
-// the encoder), the plain execute-then-encode path otherwise.
-func (s *Server) solveRendered(ctx context.Context, req engine.Request) (out []byte, hit bool, err error) {
+// the encoder, a store-backed miss may warm-start), the plain
+// execute-then-encode path otherwise.
+func (s *Server) solveRendered(ctx context.Context, req engine.Request) (out []byte, info engine.RenderedInfo, err error) {
 	if s.cache != nil {
 		return s.cache.ExecuteRendered(ctx, s.cfg.Registry, req, wire.EncodePlan)
 	}
 	plan, err := s.cfg.Registry.Execute(ctx, req)
 	if err != nil {
-		return nil, false, err
+		return nil, engine.RenderedInfo{}, err
 	}
 	out, err = wire.EncodePlan(plan)
-	return out, false, err
+	return out, engine.RenderedInfo{}, err
 }
 
 // engineCanceled tags a raw context error with the engine sentinel so
@@ -709,6 +757,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "bmpcast_cache_inflight_shared_total %d\n", st.Shared)
 		fmt.Fprintf(w, "bmpcast_cache_evictions_total %d\n", st.Evictions)
 		fmt.Fprintf(w, "bmpcast_cache_entries %d\n", st.Entries)
+		fmt.Fprintf(w, "bmpcast_cache_fill_entries %d\n", st.FillEntries)
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		fmt.Fprintf(w, "bmpcast_store_entries %d\n", st.Entries)
+		fmt.Fprintf(w, "bmpcast_store_bytes %d\n", st.Bytes)
+		fmt.Fprintf(w, "bmpcast_store_disk_hits %d\n", st.DiskHits)
+		fmt.Fprintf(w, "bmpcast_store_warm_hits %d\n", st.WarmHits)
+		fmt.Fprintf(w, "bmpcast_store_fallbacks %d\n", st.Fallbacks)
+		fmt.Fprintf(w, "bmpcast_store_truncated_records %d\n", st.Truncated)
 	}
 	submitted, running := s.jobCounts()
 	fmt.Fprintf(w, "bmpcast_jobs_total %d\n", submitted)
@@ -733,6 +791,15 @@ func (s *Server) CacheStats() engine.CacheStats {
 		return engine.CacheStats{}
 	}
 	return s.cache.Stats()
+}
+
+// StoreStats snapshots the plan store's counters (zero value without
+// Config.StoreDir).
+func (s *Server) StoreStats() planstore.Stats {
+	if s.store == nil {
+		return planstore.Stats{}
+	}
+	return s.store.Stats()
 }
 
 // ---------------------------------------------------------------------------

@@ -284,34 +284,43 @@ type EvalCounts struct {
 // deliberately absent: plan documents are byte-stable for identical
 // requests, which the service golden tests rely on.
 type Plan struct {
-	V            int        `json:"v"`
-	Solver       string     `json:"solver"`
-	Throughput   float64    `json:"throughput"`
-	TStar        float64    `json:"tstar"`
-	Ratio        float64    `json:"ratio"`
-	Word         string     `json:"word,omitempty"`
-	MaxOutDegree int        `json:"max_out_degree,omitempty"`
-	DegreeSlack  int        `json:"degree_slack,omitempty"`
-	Acyclic      bool       `json:"acyclic,omitempty"`
-	Edges        []Edge     `json:"edges,omitempty"`
-	Trees        []Tree     `json:"trees,omitempty"`
-	Schedule     *Schedule  `json:"schedule,omitempty"`
-	Repaired     bool       `json:"repaired,omitempty"`
-	Verified     float64    `json:"verified,omitempty"`
-	Evals        EvalCounts `json:"evals"`
+	V            int       `json:"v"`
+	Solver       string    `json:"solver"`
+	Throughput   float64   `json:"throughput"`
+	TStar        float64   `json:"tstar"`
+	Ratio        float64   `json:"ratio"`
+	Word         string    `json:"word,omitempty"`
+	MaxOutDegree int       `json:"max_out_degree,omitempty"`
+	DegreeSlack  int       `json:"degree_slack,omitempty"`
+	Acyclic      bool      `json:"acyclic,omitempty"`
+	Edges        []Edge    `json:"edges,omitempty"`
+	Trees        []Tree    `json:"trees,omitempty"`
+	Schedule     *Schedule `json:"schedule,omitempty"`
+	Repaired     bool      `json:"repaired,omitempty"`
+	Verified     float64   `json:"verified,omitempty"`
+	// WarmStarted and NeighborDistance report plan-store warm-start
+	// provenance (engine.Result's fields of the same names). Additive
+	// and omitempty: cold plans render byte-identically to before, so
+	// the golden documents and the content-addressed store keep their
+	// byte-stability guarantee under v1.
+	WarmStarted      bool       `json:"warm_started,omitempty"`
+	NeighborDistance int        `json:"neighbor_distance,omitempty"`
+	Evals            EvalCounts `json:"evals"`
 }
 
 // FromPlan converts a domain plan to its wire form.
 func FromPlan(p *engine.Plan) Plan {
 	w := Plan{
-		V:          Version,
-		Solver:     p.Solver,
-		Throughput: p.Throughput,
-		TStar:      p.TStar,
-		Ratio:      p.Ratio(),
-		Word:       wordASCII(p.Word),
-		Repaired:   p.Repaired,
-		Verified:   p.Verified,
+		V:                Version,
+		Solver:           p.Solver,
+		Throughput:       p.Throughput,
+		TStar:            p.TStar,
+		Ratio:            p.Ratio(),
+		Word:             wordASCII(p.Word),
+		Repaired:         p.Repaired,
+		Verified:         p.Verified,
+		WarmStarted:      p.WarmStarted,
+		NeighborDistance: p.NeighborDistance,
 		Evals: EvalCounts{
 			FlowEvals:   p.Evals.FlowEvals,
 			GreedyTests: p.Evals.GreedyTests,
