@@ -53,6 +53,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/wire"
@@ -628,11 +629,27 @@ func (s *Stream) connect() (transient bool, err error) {
 		resp.Body.Close()
 		return false, errorFrom("/v1/jobs/"+s.job.ID+"/stream", resp.StatusCode, data)
 	}
-	s.body = resp.Body
-	s.sc = bufio.NewScanner(resp.Body)
+	s.body = chaosBody{resp.Body}
+	s.sc = bufio.NewScanner(s.body)
 	s.sc.Buffer(make([]byte, 64<<10), 8<<20)
 	return false, nil
 }
+
+// chaosBody wraps a stream body so the chaos layer can throttle reads
+// (client.read.slow). Disarmed, the check is one atomic load per Read.
+type chaosBody struct{ rc io.ReadCloser }
+
+func (b chaosBody) Read(p []byte) (int, error) {
+	if f, ok := chaos.Hit(chaos.SlowRead); ok {
+		time.Sleep(f.Delay)
+		if len(p) > 1 {
+			p = p[:1]
+		}
+	}
+	return b.rc.Read(p)
+}
+
+func (b chaosBody) Close() error { return b.rc.Close() }
 
 // Next returns the next item in order, blocking while the service is
 // still solving it. It returns io.EOF after the last item. A dropped
@@ -661,7 +678,16 @@ func (s *Stream) Next() (Item, error) {
 			}
 		}
 		if s.sc.Scan() {
-			return s.decode(s.sc.Bytes())
+			item, err := s.decode(s.sc.Bytes())
+			if err == nil {
+				if _, ok := chaos.Hit(chaos.StreamDrop); ok {
+					// Injected mid-stream disconnect: drop the connection
+					// after delivering this item; the next call reconnects
+					// from the cursor and must see byte-identical lines.
+					s.Close()
+				}
+			}
+			return item, err
 		}
 		if err := s.ctx.Err(); err != nil {
 			return Item{}, fmt.Errorf("client: %w", errCanceled(err))

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/client"
+	"repro/internal/chaos/leakcheck"
 	"repro/internal/engine"
 	"repro/internal/platform"
 	"repro/internal/service"
@@ -283,8 +284,11 @@ func TestContextCancelsBackoff(t *testing.T) {
 // stream mid-batch leaves the service at its workspace baseline once
 // the job drains (the acceptance leak check, SDK-side).
 func TestStreamDisconnectLeavesNoWorkspaceLeaked(t *testing.T) {
-	base := engine.LeasedWorkspaces()
-	_, c := newService(t)
+	base := leakcheck.Snapshot()
+	srv := service.New(service.Config{Workers: 4})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	c := client.New(ts.URL, client.WithRetry(2, time.Millisecond))
 	ctx := context.Background()
 	var reqs []client.Request
 	for i := 0; i < 8; i++ {
@@ -320,8 +324,8 @@ func TestStreamDisconnectLeavesNoWorkspaceLeaked(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if got := engine.LeasedWorkspaces(); got != base {
-		t.Fatalf("LeasedWorkspaces = %d after disconnect, want baseline %d", got, base)
+	if got := engine.LeasedWorkspaces(); got != base.Leased {
+		t.Fatalf("LeasedWorkspaces = %d after disconnect, want baseline %d", got, base.Leased)
 	}
 	// The canceled context is sticky on the old stream: already-buffered
 	// lines may still drain, but it must end in cancellation or EOF
@@ -341,13 +345,16 @@ func TestStreamDisconnectLeavesNoWorkspaceLeaked(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resumed.Close()
 	for i := 1; i < 8; i++ {
 		item, err := resumed.Next()
 		if err != nil || item.Index != i {
 			t.Fatalf("resumed item %d: %+v, %v", i, item, err)
 		}
 	}
+	resumed.Close()
+	srv.Close()
+	ts.Close()
+	base.CheckHTTP(t) // everything unwound, SDK side included
 }
 
 func TestHealthz(t *testing.T) {

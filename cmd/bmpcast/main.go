@@ -58,6 +58,15 @@
 //	    -hedge-after arms client-side request hedging. -format bench
 //	    emits go-bench-style lines that cmd/benchjson converts and gates.
 //
+//	bmpcast soak    [-duration 60s] [-seed 1] [-rps 30] [-replicas 1] [-store] [-no-faults] [-emit-plan] [-out dir]
+//	    Run an in-process daemon (or -replicas N hedged cluster) under
+//	    mixed load + churn traffic and an adversarial client mix with a
+//	    seeded chaos fault plan armed (internal/chaos), then assert
+//	    goroutines, leased workspaces, RSS and the job/session counters
+//	    return to baseline. -emit-plan prints the seed's
+//	    byte-reproducible fault trace; violations write the trace and a
+//	    full goroutine dump into -out and exit non-zero.
+//
 //	bmpcast demo fig1|fig6|57|sqrt41
 //	    Walk through the paper's showcase instances.
 //
@@ -133,6 +142,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdStore(args[1:], stdout)
 	case "loadgen":
 		err = cmdLoadgen(args[1:], stdout)
+	case "soak":
+		err = cmdSoak(args[1:], stdout)
 	case "demo":
 		err = cmdDemo(args[1:], stdout)
 	case "-h", "--help", "help":
@@ -150,7 +161,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: bmpcast <solve|solvers|sweep|generate|simulate|sim|serve|store|loadgen|demo> [flags]
+	fmt.Fprintln(w, `usage: bmpcast <solve|solvers|sweep|generate|simulate|sim|serve|store|loadgen|soak|demo> [flags]
   solve    -file inst.json [-solver acyclic] [-cyclic] [-verbose] [-wire] [-remote http://host:8080]
   solvers
   sweep    -dist <Unif100|Power1|Power2|LN1|LN2|PLab> -n <nodes> -p <openprob> -count <instances> [-solver acyclic-search] [-seed N] [-workers N] [-wire] [-remote http://host:8080] [-cpuprofile f] [-memprofile f]
@@ -160,6 +171,7 @@ func usage(w io.Writer) {
   serve    [-addr :8080] [-workers 4] [-cache 1024] [-store dir] [-store-budget 4] [-self URL] [-peers url1,url2] [-hedge-after 150ms]
   store    <stats|compact|verify> -dir <dir>
   loadgen  -addr url1[,url2,...] [-rps 50] [-duration 10s] [-seed N] [-n 24] [-p 0.7] [-dist Unif100] [-solver acyclic] [-pjob 0.15] [-jobbatch 4] [-conc 64] [-hedge-after 0] [-format text|bench]
+  soak     [-duration 60s] [-seed N] [-rps 30] [-replicas 1] [-workers 4] [-n 16] [-p 0.7] [-dist Unif100] [-pjob 0.2] [-store] [-no-faults] [-emit-plan] [-horizon 4096] [-out dir] [-quiet]
   demo     fig1|fig6|57|sqrt41`)
 }
 

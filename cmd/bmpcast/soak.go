@@ -1,0 +1,113 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/chaos/soak"
+)
+
+// bmpcast soak: run an in-process daemon (or replica cluster) under
+// mixed loadgen + churn traffic and an adversarial client mix with a
+// seeded chaos fault plan armed, then assert goroutines,
+// LeasedWorkspaces, RSS and the job/session/inflight counters return
+// to baseline. The fault plan is byte-reproducible per seed
+// (-emit-plan prints it without running anything); on violation the
+// plan trace and a full goroutine dump land in -out for replay.
+
+func cmdSoak(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("soak", flag.ExitOnError)
+	duration := fs.Duration("duration", 60*time.Second, "traffic window (drain and settle come on top)")
+	seed := fs.Int64("seed", 1, "seed for the load trace, adversarial mix and fault plan")
+	rps := fs.Float64("rps", 30, "paced load-trace request rate")
+	replicas := fs.Int("replicas", 1, "in-process replicas (>1 forms a hedged cluster)")
+	workers := fs.Int("workers", 4, "worker-gate width per replica")
+	n := fs.Int("n", 16, "receiver nodes per generated instance")
+	p := fs.Float64("p", 0.7, "probability a node is open")
+	distName := fs.String("dist", "Unif100", "bandwidth distribution")
+	pJob := fs.Float64("pjob", 0.2, "fraction of load ops submitted as async jobs")
+	store := fs.Bool("store", false, "give each replica a plan store (exercises torn-append/compact faults)")
+	noFaults := fs.Bool("no-faults", false, "run the soak without arming the fault plan")
+	emitPlan := fs.Bool("emit-plan", false, "print the seed's fault trace document and exit")
+	horizon := fs.Int64("horizon", soak.TraceHorizon, "visits per fault point enumerated by the trace")
+	out := fs.String("out", ".", "directory for violation artifacts (fault trace + goroutine dump)")
+	quiet := fs.Bool("quiet", false, "suppress progress lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plan := chaos.DefaultPlan(*seed)
+	if *emitPlan {
+		trace, err := plan.Trace(*horizon)
+		if err != nil {
+			return err
+		}
+		_, err = stdout.Write(trace)
+		return err
+	}
+	cfg := soak.Config{
+		Duration: *duration, Seed: *seed, RPS: *rps, Replicas: *replicas,
+		Workers: *workers, Nodes: *n, POpen: *p, Dist: *distName, PJob: *pJob,
+		NoFaults: *noFaults,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) { fmt.Fprintf(stdout, format+"\n", args...) }
+	}
+	if *store {
+		dir, err := os.MkdirTemp("", "bmpcast-soak-store-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cfg.StoreDir = dir
+	}
+	res, err := soak.Run(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	writeSoakReport(stdout, res)
+	if !res.Failed() {
+		return nil
+	}
+	if err := os.MkdirAll(*out, 0o755); err == nil {
+		tracePath := filepath.Join(*out, "soak_fault_trace.json")
+		dumpPath := filepath.Join(*out, "soak_goroutines.txt")
+		_ = os.WriteFile(tracePath, res.FaultTrace, 0o644)
+		_ = os.WriteFile(dumpPath, res.Dump, 0o644)
+		fmt.Fprintf(stdout, "violation artifacts: %s, %s\n", tracePath, dumpPath)
+	}
+	return fmt.Errorf("soak: %d invariant violation(s)", len(res.Violations))
+}
+
+func writeSoakReport(w io.Writer, res *soak.Result) {
+	fmt.Fprintf(w, "soak: ops=%d op-errors=%d adversarial=%d\n", res.Ops, res.OpErrors, res.Adversarial)
+	if len(res.Injected) > 0 {
+		pts := make([]string, 0, len(res.Injected))
+		for pt := range res.Injected {
+			pts = append(pts, string(pt))
+		}
+		sort.Strings(pts)
+		fmt.Fprintf(w, "soak: injected faults:\n")
+		for _, pt := range pts {
+			fmt.Fprintf(w, "  %-24s %d\n", pt, res.Injected[chaos.Point(pt)])
+		}
+	}
+	fmt.Fprintf(w, "soak: goroutines %d -> %d (baseline), leased workspaces %d -> %d, rss %dMiB -> %dMiB\n",
+		res.BaselineGoroutines, res.FinalGoroutines,
+		res.BaselineLeased, res.FinalLeased,
+		res.BaselineRSS>>20, res.FinalRSS>>20)
+	if res.Failed() {
+		fmt.Fprintf(w, "soak: FAIL\n")
+		for _, v := range res.Violations {
+			fmt.Fprintf(w, "  violation: %s\n", v)
+		}
+		return
+	}
+	fmt.Fprintf(w, "soak: PASS — all leak signals back at baseline\n")
+}

@@ -1,0 +1,361 @@
+// Package chaos is the daemon's deterministic fault-injection layer.
+//
+// A Plan is a seeded set of rules, one per named fault Point. Arm
+// installs the plan globally; instrumented call sites ask Hit(point)
+// whether this particular visit should fail and, if so, how (a delay,
+// a fraction of bytes to tear, a connection drop). Every decision is a
+// pure function of (seed, point, per-point hit index), so the full
+// decision schedule of a plan is byte-reproducible: two runs with the
+// same seed fire the same faults at the same per-point visit numbers
+// regardless of goroutine interleaving, and Plan.Trace renders that
+// schedule as a canonical wire document for replay and diffing.
+//
+// When no plan is armed, Hit is a single atomic pointer load returning
+// false — hot paths carrying hook sites stay benchmark-neutral.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Point names one instrumented fault site. The catalog below is the
+// complete set; Points() reports it in stable order.
+type Point string
+
+const (
+	// GateStarve delays a request inside the worker-gate acquire,
+	// simulating a starved gate (the request's context keeps ticking).
+	GateStarve Point = "service.gate.starve"
+	// SolveDelay stalls a solve after the gate but before the engine.
+	SolveDelay Point = "service.solve.delay"
+	// ConnDrop aborts the HTTP connection instead of writing a
+	// response — the client sees a mid-request connection reset.
+	ConnDrop Point = "service.conn.drop"
+	// StreamWrite delays a job-stream NDJSON line and tears it into
+	// a short write + flush before the remainder.
+	StreamWrite Point = "service.stream.write"
+	// PeerSlow stalls an outbound peer solve so hedges fire.
+	PeerSlow Point = "cluster.peer.slow"
+	// StoreAppend tears a planstore append: a prefix of the frame
+	// reaches the file and the append "crashes" before indexing.
+	StoreAppend Point = "planstore.append.torn"
+	// StoreCompact fails a compaction after the rewrite but before
+	// the atomic rename, leaving the old log in place.
+	StoreCompact Point = "planstore.compact.fail"
+	// StreamDrop closes the client SDK's stream body between items,
+	// forcing the auto-resume path.
+	StreamDrop Point = "client.stream.drop"
+	// SlowRead throttles the client SDK's response reads to one byte
+	// per delay, simulating a slow consumer.
+	SlowRead Point = "client.read.slow"
+)
+
+// catalog is the fixed, ordered list of points. Index into it is the
+// wire-stable identity used by counters and trace docs.
+var catalog = [...]Point{
+	GateStarve,
+	SolveDelay,
+	ConnDrop,
+	StreamWrite,
+	PeerSlow,
+	StoreAppend,
+	StoreCompact,
+	StreamDrop,
+	SlowRead,
+}
+
+var catalogIndex = func() map[Point]int {
+	m := make(map[Point]int, len(catalog))
+	for i, pt := range catalog {
+		m[pt] = i
+	}
+	return m
+}()
+
+// Points reports the full fault-point catalog in stable order.
+func Points() []Point {
+	pts := make([]Point, len(catalog))
+	copy(pts, catalog[:])
+	return pts
+}
+
+// Rule configures injection at one point. Rate is the per-visit firing
+// probability in [0,1]. Delay is the base stall for delay-type faults;
+// the actual stall is deterministically jittered in [Delay/2, Delay).
+// Frac caps the fraction of a write that lands before tearing (torn
+// appends, short stream writes); the actual fraction is drawn
+// deterministically from (0, Frac].
+type Rule struct {
+	Point Point
+	Rate  float64
+	Delay time.Duration
+	Frac  float64
+}
+
+// Fault describes one fired injection: which point, the 1-based
+// per-point visit number that fired, and the concrete delay/fraction
+// drawn for this visit.
+type Fault struct {
+	Point Point
+	Seq   int64
+	Delay time.Duration
+	Frac  float64
+}
+
+// Plan is a seeded, immutable fault schedule.
+type Plan struct {
+	seed  int64
+	rules [len(catalog)]Rule // zero Rate = point disabled
+}
+
+// NewPlan builds a plan from seed and rules. Rules naming unknown
+// points are rejected; points without a rule never fire.
+func NewPlan(seed int64, rules ...Rule) (*Plan, error) {
+	p := &Plan{seed: seed}
+	for _, r := range rules {
+		i, ok := catalogIndex[r.Point]
+		if !ok {
+			return nil, fmt.Errorf("chaos: unknown fault point %q", r.Point)
+		}
+		if r.Rate < 0 || r.Rate > 1 {
+			return nil, fmt.Errorf("chaos: %s: rate %v outside [0,1]", r.Point, r.Rate)
+		}
+		if r.Frac < 0 || r.Frac > 1 {
+			return nil, fmt.Errorf("chaos: %s: frac %v outside [0,1]", r.Point, r.Frac)
+		}
+		p.rules[i] = r
+	}
+	return p, nil
+}
+
+// DefaultPlan is the soak harness's stock plan: every point armed at a
+// modest rate with small delays, hostile enough to exercise every
+// recovery path yet light enough that traffic still completes.
+func DefaultPlan(seed int64) *Plan {
+	p, err := NewPlan(seed,
+		Rule{Point: GateStarve, Rate: 0.05, Delay: 20 * time.Millisecond},
+		Rule{Point: SolveDelay, Rate: 0.05, Delay: 10 * time.Millisecond},
+		Rule{Point: ConnDrop, Rate: 0.02},
+		Rule{Point: StreamWrite, Rate: 0.10, Delay: 5 * time.Millisecond, Frac: 0.8},
+		Rule{Point: PeerSlow, Rate: 0.10, Delay: 50 * time.Millisecond},
+		Rule{Point: StoreAppend, Rate: 0.10, Frac: 0.9},
+		Rule{Point: StoreCompact, Rate: 0.50},
+		Rule{Point: StreamDrop, Rate: 0.05},
+		Rule{Point: SlowRead, Rate: 0.05, Delay: 2 * time.Millisecond},
+	)
+	if err != nil { // unreachable: the stock rules name catalog points
+		panic(err)
+	}
+	return p
+}
+
+// Seed reports the plan's seed.
+func (p *Plan) Seed() int64 { return p.seed }
+
+// Rules reports the plan's active rules in catalog order.
+func (p *Plan) Rules() []Rule {
+	var out []Rule
+	for _, r := range p.rules {
+		if r.Rate > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// decide is the pure decision function: does visit n (1-based) of
+// point i fire, and with which drawn delay/fraction. Everything
+// derives from mix64 over (seed, point index, n).
+func (p *Plan) decide(i int, n int64) (Fault, bool) {
+	r := p.rules[i]
+	if r.Rate <= 0 {
+		return Fault{}, false
+	}
+	h := mix64(uint64(p.seed)<<8 ^ uint64(i)<<56 ^ uint64(n))
+	if unit(h) >= r.Rate {
+		return Fault{}, false
+	}
+	f := Fault{Point: r.Point, Seq: n, Delay: r.Delay, Frac: r.Frac}
+	if r.Delay > 0 {
+		// Jitter into [Delay/2, Delay): deterministic but not lockstep.
+		j := unit(mix64(h ^ 0xd1b54a32d192ed03))
+		f.Delay = r.Delay/2 + time.Duration(j*float64(r.Delay/2))
+	}
+	if r.Frac > 0 {
+		// Draw from (0, Frac]: at least something, never everything.
+		u := unit(mix64(h ^ 0x8cb92ba72f3d8dd7))
+		f.Frac = r.Frac * (1 - u)
+		if f.Frac <= 0 {
+			f.Frac = r.Frac / 2
+		}
+	}
+	return f, true
+}
+
+// mix64 is a splitmix64 finalizer — a bijective avalanche over the
+// packed (seed, point, visit) word.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// unit maps a hash to [0,1) with 53 bits of precision.
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// ---------------------------------------------------------------------------
+// Injector
+
+// Injector is an armed plan plus per-point visit counters. The
+// counters — not wall time or goroutine identity — drive decisions,
+// so each point's firing sequence is deterministic under any
+// interleaving.
+type Injector struct {
+	plan *Plan
+	hits [len(catalog)]atomic.Int64
+}
+
+// active is the globally armed injector; nil means disarmed and makes
+// Hit a single atomic load.
+var active atomic.Pointer[Injector]
+
+// injectedTotal counts fired faults per point, monotonically across
+// arm/disarm cycles — the source for bmpcast_chaos_injected_total.
+var injectedTotal [len(catalog)]atomic.Int64
+
+// Arm installs plan globally and returns its injector. A nil plan
+// disarms.
+func Arm(plan *Plan) *Injector {
+	if plan == nil {
+		active.Store(nil)
+		return nil
+	}
+	inj := &Injector{plan: plan}
+	active.Store(inj)
+	return inj
+}
+
+// Disarm removes any armed plan; Hit returns false everywhere again.
+func Disarm() { active.Store(nil) }
+
+// Armed reports whether a plan is currently installed.
+func Armed() bool { return active.Load() != nil }
+
+// Hit asks whether this visit to point pt should fail. Disarmed, it
+// costs one atomic load. Armed, it bumps the point's visit counter and
+// evaluates the plan's pure decision function.
+func Hit(pt Point) (Fault, bool) {
+	inj := active.Load()
+	if inj == nil {
+		return Fault{}, false
+	}
+	i, ok := catalogIndex[pt]
+	if !ok {
+		return Fault{}, false
+	}
+	n := inj.hits[i].Add(1)
+	f, fire := inj.plan.decide(i, n)
+	if fire {
+		injectedTotal[i].Add(1)
+	}
+	return f, fire
+}
+
+// PointCount pairs a fault point with a fired-injection count.
+type PointCount struct {
+	Point Point
+	Count int64
+}
+
+// InjectedTotals reports monotonic fired counts per point in catalog
+// order, including zero entries, for /metrics.
+func InjectedTotals() []PointCount {
+	out := make([]PointCount, len(catalog))
+	for i, pt := range catalog {
+		out[i] = PointCount{Point: pt, Count: injectedTotal[i].Load()}
+	}
+	return out
+}
+
+// Visits reports how many times each point has been visited on this
+// injector (fired or not), in catalog order.
+func (inj *Injector) Visits() []PointCount {
+	out := make([]PointCount, len(catalog))
+	for i, pt := range catalog {
+		out[i] = PointCount{Point: pt, Count: inj.hits[i].Load()}
+	}
+	return out
+}
+
+// Sleep blocks for d or until ctx is done, returning ctx.Err() when
+// interrupted. Injection sites use it so a stalled request still
+// honors cancellation.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Trace
+
+// TraceRule is the wire form of one rule plus its decision schedule:
+// the 1-based visit numbers within the horizon that fire.
+type TraceRule struct {
+	Point   string  `json:"point"`
+	Rate    float64 `json:"rate"`
+	DelayMS float64 `json:"delay_ms,omitempty"`
+	Frac    float64 `json:"frac,omitempty"`
+	Fires   []int64 `json:"fires"`
+}
+
+// TraceDoc is the byte-reproducible fault trace: the plan and, for
+// every active point, exactly which visits fire within the horizon.
+// Rendering the same plan twice yields identical bytes.
+type TraceDoc struct {
+	V       int         `json:"v"`
+	Seed    int64       `json:"seed"`
+	Horizon int64       `json:"horizon"`
+	Rules   []TraceRule `json:"rules"`
+}
+
+// Trace renders the plan's decision schedule over the first horizon
+// visits of each point as a canonical wire document.
+func (p *Plan) Trace(horizon int64) ([]byte, error) {
+	doc := TraceDoc{V: wire.Version, Seed: p.seed, Horizon: horizon}
+	for i, r := range p.rules {
+		if r.Rate <= 0 {
+			continue
+		}
+		tr := TraceRule{
+			Point:   string(r.Point),
+			Rate:    r.Rate,
+			DelayMS: float64(r.Delay) / float64(time.Millisecond),
+			Frac:    r.Frac,
+			Fires:   []int64{},
+		}
+		for n := int64(1); n <= horizon; n++ {
+			if _, fire := p.decide(i, n); fire {
+				tr.Fires = append(tr.Fires, n)
+			}
+		}
+		doc.Rules = append(doc.Rules, tr)
+	}
+	return wire.Marshal(doc)
+}

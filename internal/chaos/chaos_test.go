@@ -1,0 +1,239 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDecisionDeterminism: the same seed yields the same per-point
+// decision sequence, a different seed a different one, regardless of
+// how Hits interleave.
+func TestDecisionDeterminism(t *testing.T) {
+	seq := func(seed int64) []int64 {
+		p := DefaultPlan(seed)
+		i := catalogIndex[StreamWrite]
+		var fires []int64
+		for n := int64(1); n <= 500; n++ {
+			if _, ok := p.decide(i, n); ok {
+				fires = append(fires, n)
+			}
+		}
+		return fires
+	}
+	a, b := seq(42), seq(42)
+	if len(a) == 0 {
+		t.Fatal("no decisions fired in 500 visits at rate 0.10")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different schedules at %d: %v vs %v", i, a, b)
+		}
+	}
+	c := seq(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+// TestHitMatchesPlanSchedule: the armed injector fires exactly the
+// visits the plan's trace enumerates — the trace is the ground truth
+// a failed soak replays against.
+func TestHitMatchesPlanSchedule(t *testing.T) {
+	plan, err := NewPlan(7, Rule{Point: ConnDrop, Rate: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Arm(plan)
+	t.Cleanup(Disarm)
+	var fired []int64
+	for n := int64(1); n <= 200; n++ {
+		if f, ok := Hit(ConnDrop); ok {
+			if f.Seq != n {
+				t.Fatalf("fault seq %d at visit %d", f.Seq, n)
+			}
+			fired = append(fired, n)
+		}
+	}
+	i := catalogIndex[ConnDrop]
+	var want []int64
+	for n := int64(1); n <= 200; n++ {
+		if _, ok := plan.decide(i, n); ok {
+			want = append(want, n)
+		}
+	}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, schedule says %v", fired, want)
+	}
+	for k := range fired {
+		if fired[k] != want[k] {
+			t.Fatalf("fired %v, schedule says %v", fired, want)
+		}
+	}
+}
+
+// TestDisarmedHitIsNoOp: with no plan armed, every point answers
+// false and counts nothing.
+func TestDisarmedHitIsNoOp(t *testing.T) {
+	Disarm()
+	before := InjectedTotals()
+	for _, pt := range Points() {
+		for i := 0; i < 100; i++ {
+			if _, ok := Hit(pt); ok {
+				t.Fatalf("disarmed Hit(%s) fired", pt)
+			}
+		}
+	}
+	after := InjectedTotals()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("disarmed hits moved the %s counter", before[i].Point)
+		}
+	}
+	if Armed() {
+		t.Fatal("Armed() true after Disarm")
+	}
+}
+
+// TestConcurrentHits exercises the injector from many goroutines (the
+// -race matrix makes this a data-race proof) and checks the visit
+// accounting adds up.
+func TestConcurrentHits(t *testing.T) {
+	plan, err := NewPlan(11, Rule{Point: GateStarve, Rate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := Arm(plan)
+	t.Cleanup(Disarm)
+	const workers, per = 8, 250
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				Hit(GateStarve)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, pc := range inj.Visits() {
+		want := int64(0)
+		if pc.Point == GateStarve {
+			want = workers * per
+		}
+		if pc.Count != want {
+			t.Fatalf("visits[%s] = %d, want %d", pc.Point, pc.Count, want)
+		}
+	}
+}
+
+// TestTraceBytesReproducible: same plan, same trace bytes; the doc is
+// versioned and lists only active rules.
+func TestTraceBytesReproducible(t *testing.T) {
+	a, err := DefaultPlan(9).Trace(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DefaultPlan(9).Trace(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different trace bytes")
+	}
+	c, err := DefaultPlan(10).Trace(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical trace bytes")
+	}
+}
+
+// TestNewPlanValidation rejects unknown points and out-of-range rates.
+func TestNewPlanValidation(t *testing.T) {
+	if _, err := NewPlan(1, Rule{Point: "no.such.point", Rate: 0.5}); err == nil {
+		t.Fatal("unknown point accepted")
+	}
+	if _, err := NewPlan(1, Rule{Point: ConnDrop, Rate: 1.5}); err == nil {
+		t.Fatal("rate 1.5 accepted")
+	}
+	if _, err := NewPlan(1, Rule{Point: StoreAppend, Rate: 0.5, Frac: -0.1}); err == nil {
+		t.Fatal("negative frac accepted")
+	}
+}
+
+// TestFaultDraws: delays land in [Delay/2, Delay) and fracs in
+// (0, Frac] across the whole schedule.
+func TestFaultDraws(t *testing.T) {
+	plan, err := NewPlan(3, Rule{Point: StreamWrite, Rate: 1, Delay: 10 * time.Millisecond, Frac: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := catalogIndex[StreamWrite]
+	for n := int64(1); n <= 1000; n++ {
+		f, ok := plan.decide(i, n)
+		if !ok {
+			t.Fatalf("rate 1 did not fire at visit %d", n)
+		}
+		if f.Delay < 5*time.Millisecond || f.Delay >= 10*time.Millisecond {
+			t.Fatalf("visit %d: delay %v outside [5ms,10ms)", n, f.Delay)
+		}
+		if f.Frac <= 0 || f.Frac > 0.8 {
+			t.Fatalf("visit %d: frac %v outside (0,0.8]", n, f.Frac)
+		}
+	}
+}
+
+// TestSleepHonorsCancellation: an injected stall must never outlive
+// its request.
+func TestSleepHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := Sleep(ctx, time.Hour); err == nil {
+		t.Fatal("Sleep survived a canceled context")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep blocked on a canceled context")
+	}
+}
+
+// TestMalformedPool: deterministic per seed, non-empty, and seeded
+// from the embedded wire corpus.
+func TestMalformedPool(t *testing.T) {
+	a, b := NewMalformedPool(5), NewMalformedPool(5)
+	if a.Len() == 0 {
+		t.Fatal("empty pool")
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("same seed, different pool sizes: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !bytes.Equal(a.Doc(i), b.Doc(i)) {
+			t.Fatalf("same seed, different doc at %d", i)
+		}
+	}
+	// The pool must contain actual mutants, not only the pristine corpus.
+	if a.Len() < 2*len(fuzzSeeds) {
+		t.Fatalf("pool of %d docs is too small to contain mutants", a.Len())
+	}
+	if a.Doc(-1) == nil || a.Doc(a.Len()) == nil {
+		t.Fatal("Doc must wrap any index")
+	}
+}

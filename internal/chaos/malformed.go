@@ -1,0 +1,87 @@
+package chaos
+
+import (
+	"repro/internal/wire"
+)
+
+// fuzzSeeds mirrors the inline seed payloads of the wire fuzz targets
+// — known-hostile documents (wrong version, wrong types, non-object
+// roots) that must map to 4xx, never 5xx.
+var fuzzSeeds = []string{
+	`{"v":2,"b0":1}`,
+	`{"b0":"six"}`,
+	`[{"v":1}]`,
+	`{"v":1}`,
+	`{"v":2,"solver":"acyclic"}`,
+	`{"v":1,"throughput":"four"}`,
+	`[]`,
+	`{"v":0}`,
+	`{"v":1,"entries":42}`,
+	`null`,
+	``,
+	`{`,
+}
+
+// MalformedPool is a deterministic pool of adversarial wire payloads:
+// the embedded wire corpus (golden docs plus any committed fuzz
+// findings), the fuzz seed payloads, and seeded mutations of the
+// corpus (truncations, bit flips, type/version damage). Same seed,
+// same pool — soak runs are replayable down to the garbage they post.
+type MalformedPool struct {
+	docs [][]byte
+}
+
+// NewMalformedPool builds the pool for seed. Mutations are drawn with
+// the same mix64 generator the fault plans use.
+func NewMalformedPool(seed int64) *MalformedPool {
+	base := wire.Corpus()
+	for _, s := range fuzzSeeds {
+		base = append(base, []byte(s))
+	}
+	p := &MalformedPool{docs: base}
+	// Three deterministic mutants per corpus doc.
+	state := mix64(uint64(seed) ^ 0xadf0d5ee215c3b9d)
+	for _, doc := range base {
+		if len(doc) == 0 {
+			continue
+		}
+		for m := 0; m < 3; m++ {
+			state = mix64(state + 0x9e3779b97f4a7c15)
+			p.docs = append(p.docs, mutate(doc, state))
+		}
+	}
+	return p
+}
+
+// mutate damages one document deterministically from h: truncate it,
+// flip a byte, or swap in a hostile token.
+func mutate(doc []byte, h uint64) []byte {
+	out := make([]byte, len(doc))
+	copy(out, doc)
+	switch h % 3 {
+	case 0: // truncate — torn payload
+		cut := 1 + int(mix64(h^1)%uint64(len(out)))
+		if cut > len(out) {
+			cut = len(out)
+		}
+		out = out[:cut]
+	case 1: // flip one byte — syntax or value damage
+		i := int(mix64(h^2) % uint64(len(out)))
+		out[i] ^= byte(1 << (mix64(h^3) % 8))
+	default: // insert a hostile rune at a deterministic offset
+		i := int(mix64(h^4) % uint64(len(out)+1))
+		out = append(out[:i:i], append([]byte{'}'}, out[i:]...)...)
+	}
+	return out
+}
+
+// Len reports the pool size.
+func (p *MalformedPool) Len() int { return len(p.docs) }
+
+// Doc returns pool entry i mod Len — callers index with any counter.
+func (p *MalformedPool) Doc(i int) []byte {
+	if len(p.docs) == 0 {
+		return nil
+	}
+	return p.docs[((i%len(p.docs))+len(p.docs))%len(p.docs)]
+}

@@ -1,0 +1,78 @@
+package soak
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// TestShortSoakEndsAtBaseline runs a real (if brief) soak — live
+// daemon, paced load, adversarial clients, default fault plan — and
+// requires it to come back to baseline with faults actually injected.
+func TestShortSoakEndsAtBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak run in -short mode")
+	}
+	res, err := Run(context.Background(), Config{
+		Duration: 2 * time.Second,
+		Seed:     7,
+		RPS:      25,
+		Replicas: 1,
+		Workers:  4,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("soak violations: %v\n%s", res.Violations, res.Dump)
+	}
+	if res.Ops == 0 || res.Adversarial == 0 {
+		t.Fatalf("no traffic ran: %+v", res)
+	}
+	total := int64(0)
+	for _, n := range res.Injected {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("default plan injected nothing during the soak")
+	}
+	// The trace in the report is exactly the plan's schedule — the
+	// bytes a replay run feeds back in.
+	want, err := chaos.DefaultPlan(7).Trace(TraceHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.FaultTrace, want) {
+		t.Fatal("result fault trace differs from the plan's schedule")
+	}
+}
+
+// TestSoakNoFaultsInjectsNothing: the control run used for
+// benchmarking the harness itself must keep every counter at zero.
+func TestSoakNoFaultsInjectsNothing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak run in -short mode")
+	}
+	res, err := Run(context.Background(), Config{
+		Duration: time.Second,
+		Seed:     3,
+		RPS:      15,
+		NoFaults: true,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("no-fault soak violations: %v\n%s", res.Violations, res.Dump)
+	}
+	for pt, n := range res.Injected {
+		if n != 0 {
+			t.Fatalf("disarmed soak injected %d × %s", n, pt)
+		}
+	}
+}

@@ -3,10 +3,11 @@ package cluster
 import (
 	"context"
 	"errors"
-	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/chaos/leakcheck"
 )
 
 func TestHedgedPrimaryFastPath(t *testing.T) {
@@ -101,7 +102,7 @@ func TestHedgedCancellation(t *testing.T) {
 // TestHedgedLeavesNoGoroutines pins the leak contract: a slow loser
 // whose context is canceled on return must unwind promptly.
 func TestHedgedLeavesNoGoroutines(t *testing.T) {
-	base := runtime.NumGoroutine()
+	base := leakcheck.Snapshot()
 	for i := 0; i < 50; i++ {
 		_, _, err := Hedged(context.Background(), time.Millisecond,
 			func(ctx context.Context) (string, error) {
@@ -113,11 +114,5 @@ func TestHedgedLeavesNoGoroutines(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > base+2 {
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines %d > baseline %d after 50 hedged calls", runtime.NumGoroutine(), base)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	base.Check(t)
 }

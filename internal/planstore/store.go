@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/wire"
@@ -378,6 +379,25 @@ func (s *Store) Persist(req engine.Request, reqDoc, planDoc []byte, word core.Wo
 	// caller's bytes. A failure at any segment rolls the log back to
 	// the pre-append size (the same torn state Open's recovery heals).
 	off := s.size
+	if f, ok := chaos.Hit(chaos.StoreAppend); ok {
+		// Simulated crash mid-append: a prefix of the frame lands on
+		// disk, then the "process dies" before the rollback or the
+		// index update — exactly the torn state Open's recovery heals.
+		// In-memory size/refs stay at the pre-append state, so a later
+		// successful append overwrites the garbage from the same
+		// offset, and a reopen truncates any surviving tail.
+		frame := make([]byte, 0, len(hdr)+len(reqDoc)+len(planDoc))
+		frame = append(append(append(frame, hdr...), reqDoc...), planDoc...)
+		n := int(f.Frac * float64(len(frame)))
+		if n >= len(frame) {
+			n = len(frame) - 1
+		}
+		if n < 1 {
+			n = 1
+		}
+		_, _ = s.f.WriteAt(frame[:n], off)
+		return
+	}
 	for _, seg := range [3][]byte{hdr, reqDoc, planDoc} {
 		n, err := s.f.WriteAt(seg, off)
 		if err != nil {
@@ -475,6 +495,12 @@ func (s *Store) Compact() (reclaimed int64, err error) {
 	}
 	if err := tmp.Close(); err != nil {
 		return 0, fmt.Errorf("planstore: compact: %w", err)
+	}
+	if _, ok := chaos.Hit(chaos.StoreCompact); ok {
+		// Crash after the rewrite, before the atomic rename: the
+		// deferred Remove discards the tmp file and the live log is
+		// untouched — compaction must be all-or-nothing.
+		return 0, fmt.Errorf("planstore: compact: injected crash before rename")
 	}
 	if err := os.Rename(tmpPath, filepath.Join(s.dir, logName)); err != nil {
 		return 0, fmt.Errorf("planstore: compact: %w", err)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/client"
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/wire"
@@ -82,6 +83,13 @@ func (s *Server) maybeForward(r *http.Request, req engine.Request) (out []byte, 
 	s.forwardsN.Add(1)
 	out, fromFallback, err := cluster.Hedged(r.Context(), s.cfg.HedgeAfter,
 		func(ctx context.Context) ([]byte, error) {
+			if f, ok := chaos.Hit(chaos.PeerSlow); ok {
+				// Slow owner: stall the ask so the hedge timer fires and
+				// the local fallback races it.
+				if err := chaos.Sleep(ctx, f.Delay); err != nil {
+					return nil, err
+				}
+			}
 			out, err := s.peer(owner).PeerSolveRaw(ctx, canonical)
 			if err != nil {
 				s.peerErrsN.Add(1)

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/wire"
@@ -320,6 +321,23 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 		update := j.update
 		j.mu.Unlock()
 		if line != nil {
+			if f, ok := chaos.Hit(chaos.StreamWrite); ok {
+				// Slow, torn stream write: stall, then flush a prefix of
+				// the NDJSON line before the remainder — the client-side
+				// scanner must reassemble it transparently.
+				if err := chaos.Sleep(r.Context(), f.Delay); err != nil {
+					return
+				}
+				if k := int(f.Frac * float64(len(line))); k > 0 && k < len(line) {
+					if _, err := w.Write(line[:k]); err != nil {
+						return
+					}
+					if flusher != nil {
+						flusher.Flush()
+					}
+					line = line[k:]
+				}
+			}
 			if _, err := w.Write(line); err != nil {
 				return // client went away; the job keeps running
 			}

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/chaos/leakcheck"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/platform"
@@ -236,8 +237,8 @@ func TestJobStreamFollowsLiveJob(t *testing.T) {
 // mid-batch leaves no goroutines holding workspaces — the job runs to
 // completion and LeasedWorkspaces returns to baseline.
 func TestJobStreamDisconnectLeaksNothing(t *testing.T) {
-	base := engine.LeasedWorkspaces()
-	_, ts := newTestServer(t)
+	base := leakcheck.Snapshot()
+	srv, ts := newTestServer(t)
 	const items = 8
 	id := submitJob(t, ts.URL, jobBatchBody(items))
 
@@ -256,13 +257,16 @@ func TestJobStreamDisconnectLeaksNothing(t *testing.T) {
 	resp.Body.Close()
 
 	waitJobDone(t, ts.URL, id)
-	if got := engine.LeasedWorkspaces(); got != base {
-		t.Fatalf("LeasedWorkspaces = %d after disconnect, want baseline %d", got, base)
+	if got := engine.LeasedWorkspaces(); got != base.Leased {
+		t.Fatalf("LeasedWorkspaces = %d after disconnect, want baseline %d", got, base.Leased)
 	}
 	// The full result set is still there for a resumed read.
 	if lines := readStream(t, ts.URL, id, 0); len(lines) != items {
 		t.Fatalf("post-disconnect stream returned %d lines, want %d", len(lines), items)
 	}
+	srv.Close()
+	ts.Close()
+	base.CheckHTTP(t) // the abandoned stream handler unwound too
 }
 
 // TestJobItemErrorsInline: a failing item records an error line at its

@@ -50,12 +50,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/client"
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -111,7 +113,17 @@ type Config struct {
 	// StoreEditBudget caps the node-multiset edit distance for
 	// warm-start neighbors (0 means planstore.DefaultEditBudget).
 	StoreEditBudget int
+	// SessionTTL reaps sessions idle longer than this. A client that
+	// never learns its session id — the open reply lost to a dropped
+	// connection — can otherwise pin a leased workspace forever (the
+	// chaos soak found exactly that). 0 means DefaultSessionTTL;
+	// negative disables reaping.
+	SessionTTL time.Duration
 }
+
+// DefaultSessionTTL is how long an untouched session survives before
+// the reaper returns its workspace to the engine pool.
+const DefaultSessionTTL = 15 * time.Minute
 
 // Server is the broadcast-planning HTTP service. Create with New; it
 // implements http.Handler. Close releases all open sessions, cancels
@@ -149,14 +161,19 @@ type Server struct {
 	requests  map[string]*atomic.Int64 // per-endpoint request counters
 	errorsN   atomic.Int64
 	inflightN atomic.Int64
+	reapsN    atomic.Int64 // idle sessions reclaimed by the reaper
 }
 
 // session serializes access to one engine.Session (sessions are
 // single-threaded by contract; concurrent resolves on one id queue up).
 type session struct {
-	mu  sync.Mutex
-	ses *engine.Session
+	mu   sync.Mutex
+	ses  *engine.Session
+	last atomic.Int64 // UnixNano of the last lookup; read by the reaper
 }
+
+// touch marks the session as recently used.
+func (ss *session) touch() { ss.last.Store(time.Now().UnixNano()) }
 
 // New builds a Server. It panics when the configuration cannot be
 // realized — only possible with a StoreDir that fails to open; use
@@ -221,8 +238,15 @@ func NewServer(cfg Config) (*Server, error) {
 		s.cache.SetStore(store)
 	}
 	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
+	if ttl := cfg.SessionTTL; ttl >= 0 {
+		if ttl == 0 {
+			ttl = DefaultSessionTTL
+		}
+		s.jobsWG.Add(1)
+		go s.reapSessions(ttl)
+	}
 	for _, ep := range []string{
-		"solve", "batch", "jobs", "jobstream", "session", "healthz", "metrics",
+		"solve", "batch", "jobs", "jobstream", "session", "healthz", "metrics", "debugleaks",
 		"clustersolve", "clusterfill", "clustermembers", "clusterjoin", "clusterleave",
 	} {
 		s.requests[ep] = new(atomic.Int64)
@@ -240,6 +264,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/cluster/leave", s.handleClusterLeave)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/leaks", s.handleDebugLeaks)
 	return s, nil
 }
 
@@ -279,6 +304,46 @@ func (s *Server) Close() {
 	}
 }
 
+// reapSessions closes sessions idle beyond ttl, returning their
+// workspaces to the engine pool. It runs for the server's lifetime
+// (stopped by Close through jobsCtx) and exists because a lost open
+// reply strands a session no client can ever name, let alone close.
+func (s *Server) reapSessions(ttl time.Duration) {
+	defer s.jobsWG.Done()
+	period := ttl / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.jobsCtx.Done():
+			return
+		case <-tick.C:
+		}
+		cut := time.Now().Add(-ttl).UnixNano()
+		s.mu.Lock()
+		var idle []*session
+		for id, ss := range s.sessions {
+			if ss.last.Load() < cut {
+				idle = append(idle, ss)
+				delete(s.sessions, id)
+			}
+		}
+		s.mu.Unlock()
+		for _, ss := range idle {
+			ss.mu.Lock() // waits out any resolve still holding the session
+			ss.ses.Close()
+			ss.mu.Unlock()
+			s.reapsN.Add(1)
+		}
+	}
+}
+
+// SessionReaps reports how many idle sessions the reaper reclaimed.
+func (s *Server) SessionReaps() int64 { return s.reapsN.Load() }
+
 // OpenSessions reports how many sessions are currently open.
 func (s *Server) OpenSessions() int {
 	s.mu.Lock()
@@ -291,6 +356,13 @@ func (s *Server) acquire(r *http.Request) error { return s.acquireCtx(r.Context(
 
 // acquireCtx takes a worker permit, honoring context cancellation.
 func (s *Server) acquireCtx(ctx context.Context) error {
+	if f, ok := chaos.Hit(chaos.GateStarve); ok {
+		// Starved gate: the permit takes f.Delay longer to arrive, but
+		// cancellation must still win immediately.
+		if err := chaos.Sleep(ctx, f.Delay); err != nil {
+			return err
+		}
+	}
 	select {
 	case s.gate <- struct{}{}:
 		return nil
@@ -319,6 +391,11 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) reply(w http.ResponseWriter, body []byte) {
+	if _, ok := chaos.Hit(chaos.ConnDrop); ok {
+		// Abort the connection instead of answering; ErrAbortHandler is
+		// net/http's sanctioned way to drop a client mid-request.
+		panic(http.ErrAbortHandler)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(body)
 }
@@ -423,6 +500,11 @@ func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, forwardable 
 // the encoder, a store-backed miss may warm-start), the plain
 // execute-then-encode path otherwise.
 func (s *Server) solveRendered(ctx context.Context, req engine.Request) (out []byte, info engine.RenderedInfo, err error) {
+	if f, ok := chaos.Hit(chaos.SolveDelay); ok {
+		if err := chaos.Sleep(ctx, f.Delay); err != nil {
+			return nil, engine.RenderedInfo{}, engineCanceled(err)
+		}
+	}
 	if s.cache != nil {
 		return s.cache.ExecuteRendered(ctx, s.cfg.Registry, req, wire.EncodePlan)
 	}
@@ -643,7 +725,9 @@ func (s *Server) sessionOpen(w http.ResponseWriter, sreq sessionRequest) {
 	}
 	s.nextID++
 	id := fmt.Sprintf("s%d", s.nextID)
-	s.sessions[id] = &session{ses: ses}
+	ss := &session{ses: ses}
+	ss.touch()
+	s.sessions[id] = ss
 	s.mu.Unlock()
 	s.replyDoc(w, sessionResponse{V: wire.Version, Session: id, Solver: ses.Solver()})
 }
@@ -655,6 +739,7 @@ func (s *Server) lookup(id string) (*session, error) {
 	if ss == nil {
 		return nil, fmt.Errorf("%w: no open session %q", wire.ErrMalformed, id)
 	}
+	ss.touch()
 	return ss, nil
 }
 
@@ -747,9 +832,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "bmpcast_errors_total %d\n", s.errorsN.Load())
 	fmt.Fprintf(w, "bmpcast_inflight %d\n", s.inflightN.Load())
 	fmt.Fprintf(w, "bmpcast_sessions_open %d\n", s.OpenSessions())
+	fmt.Fprintf(w, "bmpcast_sessions_reaped_total %d\n", s.reapsN.Load())
 	fmt.Fprintf(w, "bmpcast_workspaces_leased %d\n", engine.LeasedWorkspaces())
 	fmt.Fprintf(w, "bmpcast_workspace_grows_total %d\n", engine.WorkspaceGrows())
 	fmt.Fprintf(w, "bmpcast_worker_permits %d\n", s.cfg.Workers)
+	fmt.Fprintf(w, "bmpcast_goroutines %d\n", runtime.NumGoroutine())
+	armed := 0
+	if chaos.Armed() {
+		armed = 1
+	}
+	fmt.Fprintf(w, "bmpcast_chaos_armed %d\n", armed)
+	for _, pc := range chaos.InjectedTotals() {
+		fmt.Fprintf(w, "bmpcast_chaos_injected_total{point=%q} %d\n", pc.Point, pc.Count)
+	}
 	if s.cache != nil {
 		st := s.cache.Stats()
 		fmt.Fprintf(w, "bmpcast_cache_hits_total %d\n", st.Hits)
@@ -781,6 +876,45 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "bmpcast_cluster_fills_received_total %d\n", s.fillsRecvN.Load())
 		fmt.Fprintf(w, "bmpcast_cluster_peer_errors_total %d\n", s.peerErrsN.Load())
 	}
+}
+
+// LeaksDoc is the wire form of GET /debug/leaks — the leak signals the
+// soak harness asserts return to baseline, as one machine-readable
+// document instead of grep over /metrics.
+type LeaksDoc struct {
+	V                int              `json:"v"`
+	Goroutines       int              `json:"goroutines"`
+	LeasedWorkspaces int64            `json:"leased_workspaces"`
+	SessionsOpen     int              `json:"sessions_open"`
+	JobsRunning      int              `json:"jobs_running"`
+	Inflight         int64            `json:"inflight"`
+	ChaosArmed       bool             `json:"chaos_armed"`
+	ChaosInjected    map[string]int64 `json:"chaos_injected,omitempty"`
+}
+
+func (s *Server) handleDebugLeaks(w http.ResponseWriter, _ *http.Request) {
+	defer s.track("debugleaks")()
+	_, running := s.jobCounts()
+	doc := LeaksDoc{
+		V:                wire.Version,
+		Goroutines:       runtime.NumGoroutine(),
+		LeasedWorkspaces: engine.LeasedWorkspaces(),
+		SessionsOpen:     s.OpenSessions(),
+		JobsRunning:      running,
+		// The inflight counter includes this very request; report the
+		// count as seen by everyone else.
+		Inflight:   s.inflightN.Load() - 1,
+		ChaosArmed: chaos.Armed(),
+	}
+	for _, pc := range chaos.InjectedTotals() {
+		if pc.Count > 0 {
+			if doc.ChaosInjected == nil {
+				doc.ChaosInjected = make(map[string]int64)
+			}
+			doc.ChaosInjected[string(pc.Point)] = pc.Count
+		}
+	}
+	s.replyDoc(w, doc)
 }
 
 // CacheStats snapshots the plan cache's counters (zero when caching is

@@ -10,7 +10,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/chaos/leakcheck"
 	"repro/internal/engine"
 	"repro/internal/wire"
 )
@@ -203,6 +205,54 @@ func TestSessionLifecycle(t *testing.T) {
 	}
 }
 
+// TestIdleSessionReaped: a session nobody touches (its open reply
+// lost to a dropped connection, say) is reclaimed after SessionTTL —
+// workspace returned, id invalidated, reap counted. An actively used
+// session must survive the same window.
+func TestIdleSessionReaped(t *testing.T) {
+	srv := New(Config{Workers: 4, SessionTTL: 60 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	base := engine.LeasedWorkspaces()
+
+	_, data := post(t, ts.URL+"/v1/session", `{"v":1,"op":"open"}`)
+	var opened struct {
+		Session string `json:"session"`
+	}
+	if err := json.Unmarshal(data, &opened); err != nil || opened.Session == "" {
+		t.Fatalf("open response: %s", data)
+	}
+
+	// Keep the session warm across several TTL windows: resolves are
+	// touches, so the reaper must leave it alone.
+	resolve := func() (int, []byte) {
+		return post(t, ts.URL+"/v1/session",
+			`{"v":1,"op":"resolve","session":"`+opened.Session+`","instance":{"v":1,"b0":6,"open":[5,5],"guarded":[4,1,1]}}`)
+	}
+	for i := 0; i < 4; i++ {
+		if code, body := resolve(); code != http.StatusOK {
+			t.Fatalf("warm resolve %d: status %d: %s", i, code, body)
+		}
+		time.Sleep(40 * time.Millisecond)
+	}
+
+	// Now abandon it: the reaper must reclaim the workspace.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.OpenSessions() != 0 || engine.LeasedWorkspaces() != base {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle session not reaped: open=%d leased=%d (baseline %d)",
+				srv.OpenSessions(), engine.LeasedWorkspaces(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if srv.SessionReaps() == 0 {
+		t.Fatal("reap counter did not move")
+	}
+	if code, _ := resolve(); code != http.StatusBadRequest {
+		t.Fatalf("resolve on reaped session: status %d, want 400", code)
+	}
+}
+
 func TestSessionConcurrentResolves(t *testing.T) {
 	_, ts := newTestServer(t)
 	_, data := post(t, ts.URL+"/v1/session", `{"v":1,"op":"open"}`)
@@ -255,7 +305,7 @@ func TestSessionConcurrentResolves(t *testing.T) {
 }
 
 func TestWorkspacesReturnToPoolAfterLoad(t *testing.T) {
-	base := engine.LeasedWorkspaces()
+	base := leakcheck.Snapshot()
 	srv, ts := newTestServer(t)
 	var wg sync.WaitGroup
 	for i := 0; i < 24; i++ {
@@ -272,8 +322,8 @@ func TestWorkspacesReturnToPoolAfterLoad(t *testing.T) {
 	// A session held open across the load leases exactly one workspace.
 	_, data := post(t, ts.URL+"/v1/session", `{"v":1,"op":"open"}`)
 	wg.Wait()
-	if got := engine.LeasedWorkspaces(); got != base+1 {
-		t.Fatalf("LeasedWorkspaces = %d with one session open, want %d", got, base+1)
+	if got := engine.LeasedWorkspaces(); got != base.Leased+1 {
+		t.Fatalf("LeasedWorkspaces = %d with one session open, want %d", got, base.Leased+1)
 	}
 	var opened struct {
 		Session string `json:"session"`
@@ -282,16 +332,17 @@ func TestWorkspacesReturnToPoolAfterLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	post(t, ts.URL+"/v1/session", `{"v":1,"op":"close","session":"`+opened.Session+`"}`)
-	if got := engine.LeasedWorkspaces(); got != base {
-		t.Fatalf("LeasedWorkspaces = %d after close, want baseline %d", got, base)
+	if got := engine.LeasedWorkspaces(); got != base.Leased {
+		t.Fatalf("LeasedWorkspaces = %d after close, want baseline %d", got, base.Leased)
 	}
 	// Server.Close releases sessions clients abandoned.
 	post(t, ts.URL+"/v1/session", `{"v":1,"op":"open"}`)
 	post(t, ts.URL+"/v1/session", `{"v":1,"op":"open"}`)
 	srv.Close()
-	if got := engine.LeasedWorkspaces(); got != base {
-		t.Fatalf("LeasedWorkspaces = %d after Server.Close, want baseline %d", got, base)
-	}
+	ts.Close()
+	// Everything — workspaces and goroutines — back at the pre-server
+	// baseline once the daemon and its keep-alive connections are gone.
+	base.CheckHTTP(t)
 }
 
 func TestHealthzAndMetrics(t *testing.T) {

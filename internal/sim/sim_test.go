@@ -7,11 +7,10 @@ import (
 	"fmt"
 	"math"
 	"reflect"
-	"runtime"
 	"sync/atomic"
 	"testing"
-	"time"
 
+	"repro/internal/chaos/leakcheck"
 	"repro/internal/engine"
 	"repro/internal/platform"
 )
@@ -149,8 +148,7 @@ func (c *errAfter) Err() error {
 
 func TestMidTraceCancellationLeaksNothing(t *testing.T) {
 	tr := testTrace(t, 21, 30)
-	baseWS := engine.LeasedWorkspaces()
-	baseGoroutines := runtime.NumGoroutine()
+	base := leakcheck.Snapshot()
 
 	for _, checks := range []int64{0, 1, 3, 10, 25} {
 		ctx := &errAfter{Context: context.Background()}
@@ -159,19 +157,12 @@ func TestMidTraceCancellationLeaksNothing(t *testing.T) {
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("checks=%d: Run = %v, want context.Canceled", checks, err)
 		}
-		if got := engine.LeasedWorkspaces(); got != baseWS {
-			t.Fatalf("checks=%d: %d workspaces leaked", checks, got-baseWS)
+		if got := engine.LeasedWorkspaces(); got != base.Leased {
+			t.Fatalf("checks=%d: %d workspaces leaked", checks, got-base.Leased)
 		}
 	}
-	// Allow background GC/test goroutines to settle, then verify no
-	// goroutine survived the aborted runs.
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > baseGoroutines && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if got := runtime.NumGoroutine(); got > baseGoroutines {
-		t.Fatalf("goroutines grew from %d to %d after cancelled runs", baseGoroutines, got)
-	}
+	// No goroutine or workspace survived the aborted runs.
+	base.Check(t)
 }
 
 func TestApplyErrors(t *testing.T) {

@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"embed"
+	"io/fs"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// corpusFS embeds the golden documents (and any committed fuzz corpus
+// under testdata/fuzz/) so installed binaries — not just `go test`
+// runs with a source checkout — can draw on them as adversarial
+// payloads. The chaos soak harness feeds these to live daemons.
+//
+//go:embed all:testdata
+var corpusFS embed.FS
+
+// Corpus returns every embedded corpus document as raw bytes, in
+// deterministic (path-sorted) order. Golden .json files are returned
+// verbatim; `go test fuzz v1` corpus entries have their []byte literal
+// extracted. Entries that fit neither shape are returned raw — for an
+// adversarial pool, garbage is a feature.
+func Corpus() [][]byte {
+	var paths []string
+	_ = fs.WalkDir(corpusFS, "testdata", func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		paths = append(paths, path)
+		return nil
+	})
+	sort.Strings(paths)
+	docs := make([][]byte, 0, len(paths))
+	for _, p := range paths {
+		data, err := fs.ReadFile(corpusFS, p)
+		if err != nil {
+			continue
+		}
+		docs = append(docs, decodeFuzzEntry(data))
+	}
+	return docs
+}
+
+// decodeFuzzEntry unwraps a `go test fuzz v1` corpus file into its
+// []byte payload; anything else passes through unchanged.
+func decodeFuzzEntry(data []byte) []byte {
+	const header = "go test fuzz v1\n"
+	s := string(data)
+	if !strings.HasPrefix(s, header) {
+		return data
+	}
+	for _, line := range strings.Split(s[len(header):], "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "[]byte(") || !strings.HasSuffix(line, ")") {
+			continue
+		}
+		if payload, err := strconv.Unquote(line[len("[]byte(") : len(line)-1]); err == nil {
+			return []byte(payload)
+		}
+	}
+	return data
+}
